@@ -1,0 +1,174 @@
+package cmpsched
+
+import (
+	"testing"
+
+	"cmpsched/internal/experiments"
+	"cmpsched/internal/profile"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/workload"
+
+	"cmpsched/internal/cmpsim"
+)
+
+// The benchmarks below regenerate each of the paper's tables and figures at
+// the quick (test) scale; `cmd/experiments` runs the same harness at full
+// scale.  Custom metrics report the headline shape numbers next to the
+// timing, e.g. the PDF-over-WS relative speedup for Figure 2.
+
+func quickOpts(cores ...int) experiments.Options {
+	return experiments.Options{Quick: true, Cores: cores}
+}
+
+func BenchmarkFigure1MergesortMissPicture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.WSTotal)/float64(res.PDFTotal), "ws/pdf-misses")
+	}
+}
+
+func BenchmarkFigure2DefaultConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2(quickOpts(1, 8, 32))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RelativeSpeedup("hashjoin", 32), "hashjoin-pdf/ws")
+		b.ReportMetric(res.RelativeSpeedup("mergesort", 32), "mergesort-pdf/ws")
+	}
+}
+
+func BenchmarkFigure3SingleTechnology45nm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(quickOpts(2, 8, 18, 26))
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, _ := res.BestCores("hashjoin", "pdf")
+		b.ReportMetric(float64(best), "hashjoin-best-cores")
+	}
+}
+
+func BenchmarkFigure4L2HitTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RelativeSpeedup("hashjoin", 19), "hashjoin-pdf/ws@19cyc")
+	}
+}
+
+func BenchmarkFigure5MemoryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RelativeSpeedup("hashjoin", 1100), "hashjoin-pdf/ws@1100cyc")
+	}
+}
+
+func BenchmarkFigure6TaskGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(quickOpts(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MissSpread(16, "pdf"), "pdf-miss-spread")
+		b.ReportMetric(res.MissSpread(16, "ws"), "ws-miss-spread")
+	}
+}
+
+func BenchmarkFigure8AutomaticCoarsening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(quickOpts(16, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WorstNormalized(experiments.SchemeActual), "actual-normalized-worst")
+	}
+}
+
+func BenchmarkGranularityCoarseVsFine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Granularity(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Row("mergesort", "pdf").Speedup(), "mergesort-fine/coarse")
+	}
+}
+
+// Profiler benchmarks: the §6.1 timing comparison. The two benchmarks run
+// the identical annotation work so their ns/op can be compared directly.
+
+func profilerFixture(b *testing.B) (*DAG, *GroupTree, profile.Config) {
+	b.Helper()
+	ms := workload.NewMergesort(workload.MergesortConfig{Elements: 64 << 10, TaskWorkingSetBytes: 4 << 10})
+	d, tree, err := ms.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := profile.Config{LineBytes: 128, CacheSizes: []int64{8 << 10, 32 << 10, 128 << 10, 512 << 10}}
+	return d, tree, cfg
+}
+
+func BenchmarkProfilerLruTree(b *testing.B) {
+	d, tree, cfg := profilerFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := profile.NewLruTree(cfg).ProfileDAG(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pr.AnnotateTree(tree)
+	}
+}
+
+func BenchmarkProfilerSetAssoc(b *testing.B) {
+	d, tree, cfg := profilerFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.NewSetAssoc(cfg, 16).AnnotateTree(d, tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Simulator micro-benchmarks: one full Mergesort simulation per iteration,
+// useful for tracking the simulator's own throughput.
+
+func simFixture(b *testing.B) *DAG {
+	b.Helper()
+	d, _, err := workload.NewMergesort(workload.MergesortConfig{Elements: 128 << 10, TaskWorkingSetBytes: 8 << 10}).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkSimulateMergesortPDF(b *testing.B) {
+	d := simFixture(b)
+	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmpsim.Run(d, sched.NewPDF(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateMergesortWS(b *testing.B) {
+	d := simFixture(b)
+	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmpsim.Run(d, sched.NewWS(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command cmpsim runs one benchmark on one CMP configuration under one
+// scheduler and prints the resulting performance metrics.
+//
+// Examples:
+//
+//	cmpsim -workload mergesort -cores 8 -sched pdf
+//	cmpsim -workload hashjoin -cores 16 -sched ws -table 45nm
+//	cmpsim -workload mergesort -cores 32 -sched pdf -compare
+//
+// The -compare flag runs both PDF and WS (plus the sequential baseline) and
+// prints a side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mergesort", "benchmark: mergesort, hashjoin, lu, matmul, quicksort, heat")
+		schedName    = flag.String("sched", "pdf", "scheduler: pdf, ws or fifo")
+		cores        = flag.Int("cores", 8, "number of cores")
+		table        = flag.String("table", "default", "configuration table: default (Table 2) or 45nm (Table 3)")
+		scale        = flag.Int64("scale", config.DefaultScale, "capacity scale factor (1 = paper-sized caches)")
+		l2Hit        = flag.Int64("l2hit", 0, "override L2 hit latency in cycles (0 = table value)")
+		memLat       = flag.Int64("memlat", 0, "override main-memory latency in cycles (0 = table value)")
+		compare      = flag.Bool("compare", false, "run PDF, WS and the sequential baseline and compare")
+		taskWS       = flag.Int64("taskws", 0, "mergesort task working-set bytes (0 = default)")
+	)
+	flag.Parse()
+
+	cfg, err := lookupConfig(*table, *cores)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = cfg.Scaled(*scale)
+	if *l2Hit > 0 {
+		cfg = cfg.WithL2HitLatency(*l2Hit)
+	}
+	if *memLat > 0 {
+		cfg = cfg.WithMemLatency(*memLat)
+	}
+
+	w, err := buildWorkload(*workloadName, *taskWS, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	d, _, err := w.Build()
+	if err != nil {
+		fatal(err)
+	}
+	stats := d.ComputeStats()
+	fmt.Printf("workload %s: %s\n", w.Name(), stats)
+	fmt.Printf("config   %s: %d cores, L2 %.1f KB (%d-way, %d-cycle hits), memory %d/%d cycles\n",
+		cfg.Name, cfg.Cores, float64(cfg.L2.SizeBytes)/1024, cfg.L2.Assoc, cfg.L2.HitLatency,
+		cfg.Memory.LatencyCycles, cfg.Memory.ServiceIntervalCycles)
+
+	if *compare {
+		runCompare(d, cfg)
+		return
+	}
+
+	s, err := sched.New(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cmpsim.Run(d, s, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func lookupConfig(table string, cores int) (config.CMP, error) {
+	switch table {
+	case "default":
+		return config.Default(cores)
+	case "45nm":
+		return config.SingleTech45(cores)
+	default:
+		return config.CMP{}, fmt.Errorf("unknown table %q (want default or 45nm)", table)
+	}
+}
+
+func buildWorkload(name string, taskWS int64, cfg config.CMP) (workload.Workload, error) {
+	switch name {
+	case "mergesort":
+		if taskWS > 0 {
+			return workload.NewMergesort(workload.MergesortConfig{TaskWorkingSetBytes: taskWS}), nil
+		}
+	case "hashjoin":
+		// Sub-partitions are sized to the configuration's L2, as a
+		// database system would.
+		return workload.NewHashJoin(workload.HashJoinConfigForL2(cfg.L2.SizeBytes)), nil
+	}
+	return workload.New(name)
+}
+
+func runCompare(d *dag.DAG, cfg config.CMP) {
+	seq, err := cmpsim.RunSequential(d, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-6s %14s %10s %12s %12s %10s\n", "sched", "cycles", "speedup", "L2miss/Ki", "mem util", "steals")
+	fmt.Printf("%-6s %14d %10.2f %12.3f %12.1f%% %10s\n", "seq", seq.Cycles, 1.0, seq.L2MissesPerKiloInstr(), seq.MemUtilization*100, "-")
+	for _, name := range []string{"pdf", "ws"} {
+		s, _ := sched.New(name)
+		res, err := cmpsim.Run(d, s, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %14d %10.2f %12.3f %12.1f%% %10d\n",
+			name, res.Cycles, res.Speedup(seq), res.L2MissesPerKiloInstr(), res.MemUtilization*100, res.SchedMetrics["steals"])
+	}
+}
+
+func printResult(res *cmpsim.Result) {
+	fmt.Printf("\nscheduler            %s\n", res.Scheduler)
+	fmt.Printf("execution time       %d cycles\n", res.Cycles)
+	fmt.Printf("instructions         %d\n", res.Instructions)
+	fmt.Printf("memory references    %d\n", res.Refs)
+	fmt.Printf("L1 miss rate         %.2f%%\n", res.L1.MissRate()*100)
+	fmt.Printf("L2 misses            %d (%.3f per 1000 instructions)\n", res.L2.Misses, res.L2MissesPerKiloInstr())
+	fmt.Printf("off-chip transfers   %d (%d fetches, %d write-backs)\n", res.Mem.Transfers(), res.Mem.Fetches, res.Mem.Writebacks)
+	fmt.Printf("memory utilization   %.1f%%\n", res.MemUtilization*100)
+	fmt.Printf("core utilization     %.1f%%\n", res.AvgCoreUtilization()*100)
+	fmt.Printf("tasks executed       %d\n", res.TasksExecuted)
+	for k, v := range res.SchedMetrics {
+		fmt.Printf("sched metric         %s=%d\n", k, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmpsim:", err)
+	os.Exit(1)
+}

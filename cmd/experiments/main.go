@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -experiment all            # every experiment (minutes)
+//	experiments -experiment fig2           # one experiment
+//	experiments -experiment fig6 -quick    # reduced inputs (seconds)
+//
+// Available experiments: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain,
+// profiler, all.  Output is printed as aligned text tables; EXPERIMENTS.md
+// records a full run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cmpsched/internal/config"
+	"cmpsched/internal/experiments"
+)
+
+// runner couples an experiment name with its execution function.
+type runner struct {
+	name string
+	run  func(experiments.Options) (fmt.Stringer, error)
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig1", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure1(o) }},
+		{"fig2", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure2(o) }},
+		{"fig3", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure3(o) }},
+		{"fig4", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure4(o) }},
+		{"fig5", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure5(o) }},
+		{"fig6", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure6(o) }},
+		{"fig8", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure8(o) }},
+		{"grain", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Granularity(o) }},
+		{"profiler", func(o experiments.Options) (fmt.Stringer, error) { return experiments.ProfilerComparison(o) }},
+	}
+}
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler or all")
+		quick = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
+		scale = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Quick: *quick}
+	selected := strings.Split(*which, ",")
+	ran := 0
+	for _, r := range runners() {
+		if !wants(selected, r.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s", r.name, time.Since(start).Seconds(), res.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func wants(selected []string, name string) bool {
+	for _, s := range selected {
+		s = strings.TrimSpace(s)
+		if s == "all" || s == name {
+			return true
+		}
+	}
+	return false
+}

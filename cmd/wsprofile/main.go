@@ -1,0 +1,108 @@
+// Command wsprofile runs the one-pass LruTree working-set profiler over a
+// benchmark's sequential trace, prints the working sets of its task groups
+// and, given a target configuration, the automatic task-coarsening
+// recommendation (§6 of the paper).
+//
+// Examples:
+//
+//	wsprofile -workload mergesort
+//	wsprofile -workload mergesort -cores 16 -coarsen
+//	wsprofile -workload hashjoin -depth 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpsched/internal/coarsen"
+	"cmpsched/internal/config"
+	"cmpsched/internal/profile"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/taskgroup"
+	"cmpsched/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mergesort", "benchmark to profile")
+		depth        = flag.Int("depth", 3, "task-group tree depth to print")
+		cores        = flag.Int("cores", 8, "target core count for coarsening")
+		scale        = flag.Int64("scale", config.DefaultScale, "capacity scale factor")
+		doCoarsen    = flag.Bool("coarsen", false, "print the automatic task-coarsening recommendation")
+		taskWS       = flag.Int64("taskws", 0, "mergesort task working-set bytes; profile-based coarsening starts from a fine-grained program, e.g. 2048")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	var err error
+	if *workloadName == "mergesort" && *taskWS > 0 {
+		w = workload.NewMergesort(workload.MergesortConfig{TaskWorkingSetBytes: *taskWS})
+	} else {
+		w, err = workload.New(*workloadName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	d, tree, err := w.Build()
+	if err != nil {
+		fatal(err)
+	}
+	if tree == nil {
+		fatal(fmt.Errorf("workload %s has no task-group tree", *workloadName))
+	}
+	cfg, err := config.Default(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = cfg.Scaled(*scale)
+
+	prof, err := profile.NewLruTree(profile.Config{
+		LineBytes:  128,
+		CacheSizes: profile.DefaultCacheSizes(),
+	}).ProfileDAG(d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: %d tasks, %d task groups, %d references\n",
+		w.Name(), d.NumTasks(), tree.NumGroups(), prof.TotalRefs())
+
+	t := stats.NewTable("group", "tasks", "refs", "working set (KB)")
+	printGroups(t, prof, tree.Root, 0, *depth)
+	fmt.Println(t.String())
+
+	if *doCoarsen {
+		sel, err := coarsen.Coarsen(prof, tree, coarsen.Params{CacheSizeBytes: cfg.L2.SizeBytes, Cores: cfg.Cores})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coarsening for %s (L2 %.0f KB, %d cores): %d groups become sequential tasks\n",
+			cfg.Name, float64(cfg.L2.SizeBytes)/1024, cfg.Cores, len(sel.Sequential))
+		tt := stats.NewTable("L2 (KB)", "cores", "spawn site", "param threshold")
+		for _, e := range sel.Table {
+			tt.AddRow(fmt.Sprintf("%.0f", float64(e.L2SizeBytes)/1024), fmt.Sprint(e.Cores), e.Site, fmt.Sprintf("%.0f", e.Threshold))
+		}
+		fmt.Println(tt.String())
+	}
+}
+
+func printGroups(t *stats.Table, prof *profile.Profile, n *taskgroup.Node, depth, maxDepth int) {
+	if depth > maxDepth {
+		return
+	}
+	g := prof.GroupOf(n)
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	t.AddRow(indent+n.Name, fmt.Sprint(n.NumTasks()), fmt.Sprint(g.Refs),
+		fmt.Sprintf("%.1f", float64(g.WorkingSetBytes)/1024))
+	for _, c := range n.Children {
+		printGroups(t, prof, c, depth+1, maxDepth)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsprofile:", err)
+	os.Exit(1)
+}

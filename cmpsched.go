@@ -1,0 +1,223 @@
+// Package cmpsched reproduces "Scheduling Threads for Constructive Cache
+// Sharing on CMPs" (Chen et al., SPAA 2007) as a Go library.
+//
+// The package is a thin public facade over the internal packages:
+//
+//   - computation DAGs and memory-reference streams (internal/dag,
+//     internal/refs),
+//   - the Parallel Depth First (PDF) and Work Stealing (WS) schedulers
+//     (internal/sched),
+//   - an event-driven CMP simulator with private L1s, a shared L2 and a
+//     bandwidth-limited memory system (internal/cmpsim, internal/cache,
+//     internal/memsys),
+//   - the paper's CMP configuration tables (internal/config),
+//   - the benchmark workloads: Mergesort, Hash Join, LU, Matrix Multiply,
+//     Quicksort and a Heat stencil (internal/workload),
+//   - the LruTree one-pass working-set profiler, the SetAssoc baseline and
+//     the automatic task-coarsening pass (internal/profile,
+//     internal/coarsen),
+//   - and the experiment harness that regenerates every table and figure of
+//     the paper's evaluation (internal/experiments).
+//
+// # Quick start
+//
+//	d, _, err := cmpsched.BuildWorkload("mergesort")
+//	if err != nil { ... }
+//	cfg := cmpsched.DefaultConfig(8).Scaled(cmpsched.DefaultScale)
+//	seq, _ := cmpsched.RunSequential(d, cfg)
+//	pdf, _ := cmpsched.Run(d, cmpsched.NewPDF(), cfg)
+//	fmt.Printf("speedup %.2f, %.3f L2 misses per 1000 instructions\n",
+//		pdf.Speedup(seq), pdf.L2MissesPerKiloInstr())
+//
+// See the examples/ directory and cmd/experiments for complete programs.
+package cmpsched
+
+import (
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/coarsen"
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/experiments"
+	"cmpsched/internal/profile"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/taskgroup"
+	"cmpsched/internal/workload"
+)
+
+// Re-exported core types.
+type (
+	// DAG is a computation DAG of tasks with dependence edges and
+	// per-task memory-reference streams.
+	DAG = dag.DAG
+	// Task is one node of a computation DAG.
+	Task = dag.Task
+	// TaskID identifies a task within a DAG.
+	TaskID = dag.TaskID
+	// GroupTree is the hierarchical task-group tree used by the profiler
+	// and the coarsening pass.
+	GroupTree = taskgroup.Tree
+	// GroupNode is one task group.
+	GroupNode = taskgroup.Node
+
+	// Scheduler decides which ready task each idle core runs next.
+	Scheduler = sched.Scheduler
+
+	// CMPConfig is a machine configuration (cores, caches, memory).
+	CMPConfig = config.CMP
+	// SimResult summarises one simulation run.
+	SimResult = cmpsim.Result
+	// SimOptions controls a simulation run.
+	SimOptions = cmpsim.Options
+
+	// Workload builds a benchmark's DAG and group tree.
+	Workload = workload.Workload
+	// MergesortConfig, HashJoinConfig, LUConfig, MatMulConfig,
+	// CholeskyConfig, QuicksortConfig and HeatConfig parameterise the
+	// benchmarks.
+	MergesortConfig = workload.MergesortConfig
+	HashJoinConfig  = workload.HashJoinConfig
+	LUConfig        = workload.LUConfig
+	MatMulConfig    = workload.MatMulConfig
+	CholeskyConfig  = workload.CholeskyConfig
+	QuicksortConfig = workload.QuicksortConfig
+	HeatConfig      = workload.HeatConfig
+
+	// ProfileConfig configures a working-set profiling pass.
+	ProfileConfig = profile.Config
+	// Profile is the result of an LruTree profiling pass.
+	Profile = profile.Profile
+	// GroupStats summarises one task group's cache behaviour.
+	GroupStats = profile.GroupStats
+
+	// CoarsenParams and CoarsenSelection drive the automatic
+	// task-coarsening pass.
+	CoarsenParams    = coarsen.Params
+	CoarsenSelection = coarsen.Selection
+
+	// ExperimentOptions controls the experiment harness.
+	ExperimentOptions = experiments.Options
+)
+
+// DefaultScale is the factor by which cache capacities and workload inputs
+// are divided in the repository's default experiment runs (see DESIGN.md).
+const DefaultScale = config.DefaultScale
+
+// NewPDF returns a Parallel Depth First scheduler.
+func NewPDF() Scheduler { return sched.NewPDF() }
+
+// NewWS returns a Work Stealing scheduler.
+func NewWS() Scheduler { return sched.NewWS() }
+
+// NewScheduler constructs a scheduler by name ("pdf", "ws" or "fifo").
+func NewScheduler(name string) (Scheduler, error) { return sched.New(name) }
+
+// DefaultConfig returns the Table 2 (scaling-technology) configuration with
+// the given core count (1, 2, 4, 8, 16 or 32). It panics on unknown counts;
+// use config.Default via the internal package for error handling.
+func DefaultConfig(cores int) CMPConfig { return config.MustDefault(cores) }
+
+// SingleTech45Config returns the Table 3 (45 nm single-technology)
+// configuration with the given core count.
+func SingleTech45Config(cores int) CMPConfig { return config.MustSingleTech45(cores) }
+
+// DefaultConfigs returns every Table 2 configuration.
+func DefaultConfigs() []CMPConfig { return config.Defaults() }
+
+// SingleTech45Configs returns every Table 3 configuration.
+func SingleTech45Configs() []CMPConfig { return config.SingleTech45All() }
+
+// Run simulates the DAG on the configuration under the scheduler.
+func Run(d *DAG, s Scheduler, cfg CMPConfig) (*SimResult, error) {
+	return cmpsim.Run(d, s, cfg)
+}
+
+// RunWithOptions simulates with explicit options.
+func RunWithOptions(d *DAG, s Scheduler, cfg CMPConfig, opts SimOptions) (*SimResult, error) {
+	return cmpsim.RunWithOptions(d, s, cfg, opts)
+}
+
+// RunSequential simulates the sequential execution of the DAG on one core of
+// the configuration — the baseline the paper's speedups are measured
+// against.
+func RunSequential(d *DAG, cfg CMPConfig) (*SimResult, error) {
+	return cmpsim.RunSequential(d, cfg)
+}
+
+// BuildWorkload builds a benchmark by name with its default (scaled)
+// parameters: "mergesort", "hashjoin", "lu", "matmul", "quicksort" or
+// "heat".
+func BuildWorkload(name string) (*DAG, *GroupTree, error) {
+	w, err := workload.New(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w.Build()
+}
+
+// NewMergesort, NewHashJoin, NewLU, NewMatMul, NewQuicksort and NewHeat
+// construct benchmarks with explicit parameters (zero fields take defaults).
+func NewMergesort(cfg MergesortConfig) Workload { return workload.NewMergesort(cfg) }
+
+// NewHashJoin constructs the hash-join benchmark.
+func NewHashJoin(cfg HashJoinConfig) Workload { return workload.NewHashJoin(cfg) }
+
+// HashJoinConfigForL2 sizes hash-join sub-partitions for a given shared-L2
+// capacity, the way a database system would.
+func HashJoinConfigForL2(l2Bytes int64) HashJoinConfig {
+	return workload.HashJoinConfigForL2(l2Bytes)
+}
+
+// NewLU constructs the LU-factorisation benchmark.
+func NewLU(cfg LUConfig) Workload { return workload.NewLU(cfg) }
+
+// NewMatMul constructs the blocked matrix-multiply benchmark.
+func NewMatMul(cfg MatMulConfig) Workload { return workload.NewMatMul(cfg) }
+
+// NewCholesky constructs the blocked Cholesky-factorisation benchmark.
+func NewCholesky(cfg CholeskyConfig) Workload { return workload.NewCholesky(cfg) }
+
+// NewQuicksort constructs the parallel quicksort benchmark.
+func NewQuicksort(cfg QuicksortConfig) Workload { return workload.NewQuicksort(cfg) }
+
+// NewHeat constructs the Jacobi-stencil benchmark.
+func NewHeat(cfg HeatConfig) Workload { return workload.NewHeat(cfg) }
+
+// WorkloadNames lists the available benchmarks.
+func WorkloadNames() []string { return workload.Names() }
+
+// ProfileWorkingSets runs the one-pass LruTree profiler over the DAG's
+// sequential trace.
+func ProfileWorkingSets(d *DAG, cfg ProfileConfig) (*Profile, error) {
+	return profile.NewLruTree(cfg).ProfileDAG(d)
+}
+
+// DefaultProfileCacheSizes returns a convenient ladder of cache sizes for
+// profiling scaled configurations.
+func DefaultProfileCacheSizes() []int64 { return profile.DefaultCacheSizes() }
+
+// CoarsenTasks applies the paper's stop criterion (W ≤ K·C/(2P)) to a
+// profiled task-group tree, returning the groups to run sequentially and the
+// parallelization-table thresholds for the configuration.
+func CoarsenTasks(p *Profile, tree *GroupTree, params CoarsenParams) (*CoarsenSelection, error) {
+	return coarsen.Coarsen(p, tree, params)
+}
+
+// CollapseDAG applies a coarsening selection to a DAG, merging each selected
+// group into a single sequential task.
+func CollapseDAG(d *DAG, tree *GroupTree, sel *CoarsenSelection) (*DAG, error) {
+	return coarsen.CollapseDAG(d, tree, sel)
+}
+
+// Experiment runners: each regenerates one of the paper's tables or figures
+// and returns a result whose String method prints the corresponding rows.
+var (
+	Figure1            = experiments.Figure1
+	Figure2            = experiments.Figure2
+	Figure3            = experiments.Figure3
+	Figure4            = experiments.Figure4
+	Figure5            = experiments.Figure5
+	Figure6            = experiments.Figure6
+	Figure8            = experiments.Figure8
+	GranularityStudy   = experiments.Granularity
+	ProfilerComparison = experiments.ProfilerComparison
+)

@@ -1,0 +1,90 @@
+package cmpsched
+
+import "testing"
+
+// TestFacadeEndToEnd drives the public API the way the quick-start example
+// does: build a workload, simulate it sequentially and under both
+// schedulers, profile it and coarsen it.
+func TestFacadeEndToEnd(t *testing.T) {
+	ms := NewMergesort(MergesortConfig{Elements: 1 << 14, TaskWorkingSetBytes: 4 << 10})
+	d, tree, err := ms.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cfg := DefaultConfig(8).Scaled(DefaultScale * 16)
+	seq, err := RunSequential(d, cfg)
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	pdf, err := Run(d, NewPDF(), cfg)
+	if err != nil {
+		t.Fatalf("Run pdf: %v", err)
+	}
+	ws, err := Run(d, NewWS(), cfg)
+	if err != nil {
+		t.Fatalf("Run ws: %v", err)
+	}
+	if pdf.Speedup(seq) <= 1 || ws.Speedup(seq) <= 1 {
+		t.Fatalf("parallel runs should beat sequential: pdf %.2f ws %.2f", pdf.Speedup(seq), ws.Speedup(seq))
+	}
+	if pdf.L2.Misses > ws.L2.Misses {
+		t.Fatalf("PDF should not incur more misses than WS: %d vs %d", pdf.L2.Misses, ws.L2.Misses)
+	}
+
+	prof, err := ProfileWorkingSets(d, ProfileConfig{LineBytes: 128, CacheSizes: DefaultProfileCacheSizes()})
+	if err != nil {
+		t.Fatalf("ProfileWorkingSets: %v", err)
+	}
+	sel, err := CoarsenTasks(prof, tree, CoarsenParams{CacheSizeBytes: cfg.L2.SizeBytes, Cores: cfg.Cores})
+	if err != nil {
+		t.Fatalf("CoarsenTasks: %v", err)
+	}
+	coarse, err := CollapseDAG(d, tree, sel)
+	if err != nil {
+		t.Fatalf("CollapseDAG: %v", err)
+	}
+	if coarse.NumTasks() > d.NumTasks() {
+		t.Fatalf("coarsening increased task count")
+	}
+	if _, err := Run(coarse, NewPDF(), cfg); err != nil {
+		t.Fatalf("running coarsened DAG: %v", err)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	if len(WorkloadNames()) != 7 {
+		t.Fatalf("WorkloadNames = %v", WorkloadNames())
+	}
+	for _, name := range WorkloadNames() {
+		if _, _, err := BuildWorkload(name); err != nil {
+			t.Fatalf("BuildWorkload(%q): %v", name, err)
+		}
+	}
+	if _, _, err := BuildWorkload("bogus"); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+	if _, err := NewScheduler("pdf"); err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	if _, err := NewScheduler("bogus"); err == nil {
+		t.Fatalf("unknown scheduler accepted")
+	}
+	if len(DefaultConfigs()) != 6 || len(SingleTech45Configs()) != 14 {
+		t.Fatalf("configuration tables wrong sizes")
+	}
+	if SingleTech45Config(26).L2.SizeBytes >= SingleTech45Config(1).L2.SizeBytes {
+		t.Fatalf("45nm trade-off missing")
+	}
+	hj := HashJoinConfigForL2(1 << 20)
+	if hj.SubPartitionBytes <= 0 {
+		t.Fatalf("HashJoinConfigForL2 returned empty config")
+	}
+	for _, w := range []Workload{
+		NewHashJoin(HashJoinConfig{}), NewLU(LUConfig{}), NewMatMul(MatMulConfig{}),
+		NewCholesky(CholeskyConfig{}), NewQuicksort(QuicksortConfig{}), NewHeat(HeatConfig{}),
+	} {
+		if w.Name() == "" {
+			t.Fatalf("workload missing name")
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package cache models set-associative caches with LRU replacement and the
+// two-level (private L1, shared L2) hierarchy used by the CMP simulator.
+//
+// The model is functional rather than cycle-accurate: each access classifies
+// as a hit or a miss at each level and reports the victim line (for
+// write-back traffic accounting).  Latencies are attached by the caller
+// (package cmpsim) from the configuration tables in package config.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int64
+	// LineBytes is the cache-line size.
+	LineBytes int64
+	// Assoc is the set associativity (ways).
+	Assoc int
+	// HitLatency is the access latency in cycles charged on a hit.
+	HitLatency int64
+}
+
+// Sets returns the number of sets implied by the configuration (at least 1).
+func (c Config) Sets() int {
+	if c.LineBytes <= 0 || c.Assoc <= 0 {
+		return 1
+	}
+	sets := c.SizeBytes / (c.LineBytes * int64(c.Assoc))
+	if sets < 1 {
+		sets = 1
+	}
+	return int(sets)
+}
+
+// Lines returns the total number of lines the cache holds.
+func (c Config) Lines() int64 { return int64(c.Sets()) * int64(c.Assoc) }
+
+// EffectiveBytes returns the capacity actually modelled (Sets*Assoc*Line),
+// which may be slightly below SizeBytes when SizeBytes is not an exact
+// multiple of LineBytes*Assoc.
+func (c Config) EffectiveBytes() int64 { return c.Lines() * c.LineBytes }
+
+// Validate reports obviously inconsistent configurations.
+func (c Config) Validate() error {
+	if c.LineBytes <= 0 {
+		return fmt.Errorf("cache: LineBytes must be positive, got %d", c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: Assoc must be positive, got %d", c.Assoc)
+	}
+	if c.SizeBytes < c.LineBytes*int64(c.Assoc) {
+		return fmt.Errorf("cache: SizeBytes %d smaller than one set (%d)", c.SizeBytes, c.LineBytes*int64(c.Assoc))
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache: negative HitLatency %d", c.HitLatency)
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Reads      int64
+	Writes     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// MissRate returns Misses/Accesses, or 0 when there were no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// use is a per-cache monotonically increasing counter recording the
+	// most recent touch, used for LRU selection.
+	use uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement and a
+// write-back, write-allocate policy.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	clock   uint64
+	stats   Stats
+	// power2 records whether the set count is a power of two, enabling
+	// mask-based indexing.
+	power2 bool
+}
+
+// AccessResult describes the outcome of a single cache access.
+type AccessResult struct {
+	// Hit reports whether the line was present.
+	Hit bool
+	// Evicted reports whether a valid line was displaced to make room.
+	Evicted bool
+	// EvictedAddr is the base address of the displaced line when Evicted.
+	EvictedAddr uint64
+	// EvictedDirty reports whether the displaced line was dirty (requires
+	// a write-back).
+	EvictedDirty bool
+}
+
+// New returns an empty cache with the given configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets()
+	c := &Cache{
+		cfg:    cfg,
+		sets:   make([][]way, n),
+		power2: n&(n-1) == 0,
+	}
+	if c.power2 {
+		c.setMask = uint64(n - 1)
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for use with known-good configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the statistics without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// lineAddr returns the base address of the line containing addr.
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr - addr%uint64(c.cfg.LineBytes)
+}
+
+func (c *Cache) setIndex(lineAddr uint64) int {
+	idx := lineAddr / uint64(c.cfg.LineBytes)
+	if c.power2 {
+		return int(idx & c.setMask)
+	}
+	return int(idx % uint64(len(c.sets)))
+}
+
+// Access performs a read or write of addr, allocating on miss, and returns
+// the outcome.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	la := c.lineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	c.clock++
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	tag := la
+	// Hit path.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].use = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	// Miss: find an invalid way, otherwise evict LRU.
+	c.stats.Misses++
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	res := AccessResult{}
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].use < set[victim].use {
+				victim = i
+			}
+		}
+		res.Evicted = true
+		res.EvictedAddr = set[victim].tag
+		res.EvictedDirty = set[victim].dirty
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = way{tag: tag, valid: true, dirty: write, use: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is present, without
+// affecting LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line holding addr if present, returning whether it
+// was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	la := c.lineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			present = true
+			dirty = set[i].dirty
+			set[i] = way{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Flush invalidates every line, returning the number of dirty lines that
+// would have been written back.
+func (c *Cache) Flush() (dirty int64) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				dirty++
+			}
+			c.sets[si][wi] = way{}
+		}
+	}
+	return dirty
+}
+
+// OccupiedLines returns the number of valid lines currently resident.
+func (c *Cache) OccupiedLines() int64 {
+	var n int64
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

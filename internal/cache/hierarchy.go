@@ -1,0 +1,211 @@
+package cache
+
+import "fmt"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMemory
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// HierarchyConfig configures a private-L1 / shared-L2 hierarchy.
+type HierarchyConfig struct {
+	// Cores is the number of private L1 caches.
+	Cores int
+	// L1 is the per-core L1 configuration.
+	L1 Config
+	// L2 is the shared L2 configuration.
+	L2 Config
+	// WriteInvalidate enables a simple directory that invalidates other
+	// cores' L1 copies when a core writes a line.  It affects only
+	// coherence statistics, not timing.
+	WriteInvalidate bool
+}
+
+// HierarchyAccess is the outcome of one access through the hierarchy.
+type HierarchyAccess struct {
+	// Level is the level that satisfied the access (L1, L2, or memory).
+	Level Level
+	// OffChipTransfers is the number of off-chip line transfers triggered:
+	// 1 for the fetch when the access missed in L2, plus 1 if a dirty L2
+	// victim must be written back.
+	OffChipTransfers int
+	// L1Evicted / L2Evicted report capacity displacement at each level.
+	L1Evicted bool
+	L2Evicted bool
+	// Invalidations is the number of remote L1 copies invalidated (only
+	// when WriteInvalidate is enabled).
+	Invalidations int
+}
+
+// Hierarchy is a private-L1, shared-L2 cache hierarchy.
+type Hierarchy struct {
+	cfg  HierarchyConfig
+	l1s  []*Cache
+	l2   *Cache
+	dir  map[uint64]uint64 // line -> bitmask of cores with an L1 copy
+	invs int64
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one core, got %d", cfg.Cores)
+	}
+	if cfg.Cores > 64 {
+		return nil, fmt.Errorf("cache: hierarchy supports at most 64 cores, got %d", cfg.Cores)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := New(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L1[%d]: %w", i, err)
+		}
+		h.l1s = append(h.l1s, l1)
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("cache: L2: %w", err)
+	}
+	h.l2 = l2
+	if cfg.WriteInvalidate {
+		h.dir = make(map[uint64]uint64)
+	}
+	return h, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1 returns core's private L1 cache.
+func (h *Hierarchy) L1(core int) *Cache { return h.l1s[core] }
+
+// L2 returns the shared L2 cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Invalidations returns the total number of coherence invalidations.
+func (h *Hierarchy) Invalidations() int64 { return h.invs }
+
+// Access performs one memory access by core and classifies it.
+func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
+	if core < 0 || core >= len(h.l1s) {
+		panic(fmt.Sprintf("cache: access from unknown core %d", core))
+	}
+	out := HierarchyAccess{}
+	l1 := h.l1s[core]
+	line := addr - addr%uint64(h.cfg.L2.LineBytes)
+
+	r1 := l1.Access(addr, write)
+	out.L1Evicted = r1.Evicted
+	if h.dir != nil {
+		h.trackL1(core, addr, line, write, r1, &out)
+	}
+	if r1.Hit {
+		out.Level = LevelL1
+		return out
+	}
+
+	// An L1 dirty victim is written back into the shared L2 (on-chip
+	// traffic only).
+	if r1.Evicted && r1.EvictedDirty {
+		wb := h.l2.Access(r1.EvictedAddr, true)
+		if wb.Evicted && wb.EvictedDirty {
+			out.OffChipTransfers++
+		}
+	}
+
+	r2 := h.l2.Access(addr, write)
+	out.L2Evicted = r2.Evicted
+	if r2.Evicted {
+		// Inclusive L2: drop any stale L1 copies of the victim line so
+		// the model never holds lines absent from L2.
+		for _, l1c := range h.l1s {
+			l1c.Invalidate(r2.EvictedAddr)
+		}
+		if h.dir != nil {
+			delete(h.dir, r2.EvictedAddr)
+		}
+		if r2.EvictedDirty {
+			out.OffChipTransfers++
+		}
+	}
+	if r2.Hit {
+		out.Level = LevelL2
+		return out
+	}
+	out.Level = LevelMemory
+	out.OffChipTransfers++
+	return out
+}
+
+// trackL1 maintains the write-invalidate directory.
+func (h *Hierarchy) trackL1(core int, addr, line uint64, write bool, r1 AccessResult, out *HierarchyAccess) {
+	if r1.Evicted {
+		evLine := r1.EvictedAddr - r1.EvictedAddr%uint64(h.cfg.L2.LineBytes)
+		if mask, ok := h.dir[evLine]; ok {
+			mask &^= 1 << uint(core)
+			if mask == 0 {
+				delete(h.dir, evLine)
+			} else {
+				h.dir[evLine] = mask
+			}
+		}
+	}
+	mask := h.dir[line]
+	if write {
+		// Invalidate all other copies.
+		others := mask &^ (1 << uint(core))
+		for c := 0; others != 0; c++ {
+			if others&1 != 0 {
+				if present, _ := h.l1s[c].Invalidate(addr); present {
+					out.Invalidations++
+					h.invs++
+				}
+			}
+			others >>= 1
+		}
+		mask = 1 << uint(core)
+	} else {
+		mask |= 1 << uint(core)
+	}
+	h.dir[line] = mask
+}
+
+// L1Stats returns the aggregate statistics over all private L1 caches.
+func (h *Hierarchy) L1Stats() Stats {
+	var total Stats
+	for _, c := range h.l1s {
+		total.Add(c.Stats())
+	}
+	return total
+}
+
+// L2Stats returns the shared L2 statistics.
+func (h *Hierarchy) L2Stats() Stats { return h.l2.Stats() }
+
+// ResetStats clears statistics on every cache.
+func (h *Hierarchy) ResetStats() {
+	for _, c := range h.l1s {
+		c.ResetStats()
+	}
+	h.l2.ResetStats()
+	h.invs = 0
+}

@@ -1,0 +1,388 @@
+// Package cmpsim is a discrete-event simulator of a chip multiprocessor
+// executing a computation DAG under a greedy scheduler.
+//
+// The machine model follows the paper's methodology (§4.1): P in-order,
+// scalar cores (1 instruction per cycle when not stalled), per-core private
+// L1 caches, a shared L2 cache with a uniform configuration-dependent hit
+// latency, and an off-chip memory with a 300-cycle latency and a
+// bandwidth-limiting service interval of 30 cycles per line transfer.
+//
+// Execution is event driven: each event is a core becoming ready to issue
+// its next memory reference (or to complete its current task).  Events are
+// processed in global time order, so accesses from different cores interleave
+// in the shared L2 and compete for off-chip bandwidth in simulated-time
+// order, which is what produces the constructive (or destructive) cache
+// sharing behaviour the schedulers are being compared on.
+package cmpsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/memsys"
+	"cmpsched/internal/refs"
+	"cmpsched/internal/sched"
+)
+
+// Options control a simulation run.
+type Options struct {
+	// MaxCycles aborts the run when simulated time exceeds it. Zero means
+	// the default bound of 1e15 cycles.
+	MaxCycles int64
+	// RecordTaskStats enables per-task start/end/core/miss accounting
+	// (needed by schedule visualisations and per-level analyses).
+	RecordTaskStats bool
+	// ValidateDAG runs dag.Validate before simulating. It is enabled by
+	// default in Run; disable for repeated runs of an already-validated
+	// DAG.
+	ValidateDAG bool
+}
+
+// DefaultOptions returns the options used by Run.
+func DefaultOptions() Options {
+	return Options{RecordTaskStats: true, ValidateDAG: true}
+}
+
+// TaskStat records how one task was executed.
+type TaskStat struct {
+	// Core is the core that executed the task.
+	Core int
+	// Start and End are the simulated cycles at which the task started
+	// and completed.
+	Start, End int64
+	// L2Misses is the number of shared-L2 misses the task incurred.
+	L2Misses int64
+	// Refs is the number of memory references the task issued.
+	Refs int64
+}
+
+// Result summarises a simulation run.
+type Result struct {
+	// Config is the machine configuration simulated.
+	Config config.CMP
+	// Scheduler is the name of the scheduler used.
+	Scheduler string
+	// Cycles is the total execution time.
+	Cycles int64
+	// Instructions is the total number of instructions retired.
+	Instructions int64
+	// Refs is the total number of memory references issued.
+	Refs int64
+	// L1 aggregates the private L1 statistics across cores.
+	L1 cache.Stats
+	// L2 is the shared L2 statistics.
+	L2 cache.Stats
+	// Mem is the off-chip memory statistics.
+	Mem memsys.Stats
+	// MemUtilization is the fraction of cycles the off-chip channel was
+	// busy (the paper's "memory bandwidth utilization").
+	MemUtilization float64
+	// CoreBusyCycles is the number of non-idle cycles per core.
+	CoreBusyCycles []int64
+	// TasksExecuted is the number of tasks run (equals the DAG size on a
+	// successful run).
+	TasksExecuted int
+	// SchedMetrics carries scheduler-specific counters (e.g. "steals").
+	SchedMetrics map[string]int64
+	// TaskStats, when recorded, is indexed by task ID.
+	TaskStats []TaskStat
+}
+
+// L2MissesPerKiloInstr returns the paper's primary cache metric: shared-L2
+// misses per 1000 instructions.
+func (r *Result) L2MissesPerKiloInstr() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.L2.Misses) * 1000 / float64(r.Instructions)
+}
+
+// AvgCoreUtilization returns the mean fraction of time cores were busy.
+func (r *Result) AvgCoreUtilization() float64 {
+	if r.Cycles == 0 || len(r.CoreBusyCycles) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range r.CoreBusyCycles {
+		busy += b
+	}
+	return float64(busy) / float64(r.Cycles) / float64(len(r.CoreBusyCycles))
+}
+
+// Speedup returns base.Cycles / r.Cycles: the speedup of this run relative
+// to a baseline run (typically the sequential execution on the same
+// configuration).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// L2MissesByLevel aggregates per-task L2 misses by the tasks' Level field.
+// It requires TaskStats to have been recorded.
+func (r *Result) L2MissesByLevel(d *dag.DAG) map[int]int64 {
+	out := make(map[int]int64)
+	if r.TaskStats == nil {
+		return out
+	}
+	for _, t := range d.Tasks() {
+		out[t.Level] += r.TaskStats[t.ID].L2Misses
+	}
+	return out
+}
+
+// Run simulates d on cfg under scheduler s with default options.
+func Run(d *dag.DAG, s sched.Scheduler, cfg config.CMP) (*Result, error) {
+	return RunWithOptions(d, s, cfg, DefaultOptions())
+}
+
+// RunSequential simulates the sequential execution of d on a single core of
+// the given configuration (same caches and memory), which is the baseline
+// the paper's speedups are reported against.
+func RunSequential(d *dag.DAG, cfg config.CMP) (*Result, error) {
+	seq := cfg
+	seq.Cores = 1
+	seq.Name = cfg.Name + "/sequential"
+	return Run(d, sched.NewPDF(), seq)
+}
+
+// event is a pending simulator event: core is ready to proceed at time.
+type event struct {
+	time int64
+	core int
+	seq  int64 // FIFO tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].core != h[j].core {
+		return h[i].core < h[j].core
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// coreState tracks what a core is doing.
+type coreState struct {
+	busy      bool
+	task      dag.TaskID
+	finishing bool  // refs exhausted, waiting for trailing instructions
+	consumed  int64 // instructions charged for the current task so far
+	start     int64 // cycle the current task started
+	l2Misses  int64
+	refs      int64
+}
+
+// RunWithOptions simulates d on cfg under scheduler s.
+func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.ValidateDAG {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if d.NumTasks() == 0 {
+		return nil, fmt.Errorf("cmpsim: empty DAG %q", d.Name)
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = int64(1e15)
+	}
+
+	hier, err := cache.NewHierarchy(cfg.HierarchyConfig())
+	if err != nil {
+		return nil, err
+	}
+	mem, err := memsys.New(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+
+	d.ResetRefs()
+	n := d.NumTasks()
+	p := cfg.Cores
+	s.Reset(d, p)
+
+	indeg := make([]int, n)
+	for _, t := range d.Tasks() {
+		indeg[t.ID] = len(t.Preds)
+	}
+
+	cores := make([]coreState, p)
+	busyCycles := make([]int64, p)
+	var taskStats []TaskStat
+	if opts.RecordTaskStats {
+		taskStats = make([]TaskStat, n)
+	}
+
+	events := &eventHeap{}
+	var eventSeq int64
+	push := func(t int64, core int) {
+		eventSeq++
+		heap.Push(events, event{time: t, core: core, seq: eventSeq})
+	}
+
+	completed := 0
+	l1Lat := cfg.L1.HitLatency
+	l2Lat := cfg.L2.HitLatency
+
+	// assign hands ready tasks to idle cores at time now, trying prefer
+	// first (the core that just completed a task), then the others in
+	// index order.
+	assign := func(now int64, prefer int) {
+		tryCore := func(c int) {
+			if cores[c].busy {
+				return
+			}
+			id, ok := s.Next(c)
+			if !ok {
+				return
+			}
+			cores[c] = coreState{busy: true, task: id, start: now}
+			if t := d.Task(id); t.Refs != nil {
+				t.Refs.Reset()
+			}
+			push(now, c)
+		}
+		if prefer >= 0 && prefer < p {
+			tryCore(prefer)
+		}
+		for c := 0; c < p; c++ {
+			if s.Pending() == 0 {
+				break
+			}
+			tryCore(c)
+		}
+	}
+
+	roots := d.Roots()
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("cmpsim: DAG %q has no root tasks", d.Name)
+	}
+	s.MakeReady(-1, roots)
+	assign(0, -1)
+
+	var now int64
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		now = ev.time
+		if now > maxCycles {
+			return nil, fmt.Errorf("cmpsim: exceeded MaxCycles=%d (deadlock or runaway workload?)", maxCycles)
+		}
+		c := ev.core
+		st := &cores[c]
+		if !st.busy {
+			// Stale event (should not happen); ignore defensively.
+			continue
+		}
+		task := d.Task(st.task)
+
+		if !st.finishing {
+			var ref refs.Ref
+			var ok bool
+			if task.Refs != nil {
+				ref, ok = task.Refs.Next()
+			}
+			if ok {
+				issue := now + ref.Instrs
+				st.consumed += ref.Instrs
+				st.refs++
+				acc := hier.Access(c, ref.Addr, ref.Write)
+				var done int64
+				switch acc.Level {
+				case cache.LevelL1:
+					done = issue + l1Lat
+				case cache.LevelL2:
+					done = issue + l1Lat + l2Lat
+					// Dirty L2 victims displaced by an L1 write-back
+					// still consume off-chip bandwidth.
+					for i := 0; i < acc.OffChipTransfers; i++ {
+						mem.Writeback(issue)
+					}
+				case cache.LevelMemory:
+					st.l2Misses++
+					for i := 1; i < acc.OffChipTransfers; i++ {
+						mem.Writeback(issue)
+					}
+					done = mem.Fetch(issue + l1Lat + l2Lat)
+				}
+				busyCycles[c] += done - now
+				push(done, c)
+				continue
+			}
+			// References exhausted: charge the trailing instructions.
+			tail := task.Instrs - st.consumed
+			if tail < 0 {
+				tail = 0
+			}
+			st.finishing = true
+			busyCycles[c] += tail
+			push(now+tail, c)
+			continue
+		}
+
+		// Task completion.
+		if taskStats != nil {
+			taskStats[task.ID] = TaskStat{
+				Core:     c,
+				Start:    st.start,
+				End:      now,
+				L2Misses: st.l2Misses,
+				Refs:     st.refs,
+			}
+		}
+		completed++
+		var ready []dag.TaskID
+		for _, succ := range task.Succs {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+		cores[c] = coreState{}
+		if len(ready) > 0 {
+			s.MakeReady(c, ready)
+		}
+		assign(now, c)
+	}
+
+	if completed != n {
+		return nil, fmt.Errorf("cmpsim: deadlock: executed %d of %d tasks (cyclic or disconnected dependences?)", completed, n)
+	}
+
+	res := &Result{
+		Config:         cfg,
+		Scheduler:      s.Name(),
+		Cycles:         now,
+		Instructions:   d.TotalInstrs(),
+		Refs:           d.TotalRefs(),
+		L1:             hier.L1Stats(),
+		L2:             hier.L2Stats(),
+		Mem:            mem.Stats(),
+		MemUtilization: mem.Utilization(now),
+		CoreBusyCycles: busyCycles,
+		TasksExecuted:  completed,
+		SchedMetrics:   s.Metrics(),
+		TaskStats:      taskStats,
+	}
+	return res, nil
+}

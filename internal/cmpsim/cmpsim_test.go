@@ -1,0 +1,386 @@
+package cmpsim
+
+import (
+	"testing"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/memsys"
+	"cmpsched/internal/refs"
+	"cmpsched/internal/sched"
+)
+
+// testConfig returns a small, fast machine configuration for unit tests.
+func testConfig(cores int, l2Bytes int64) config.CMP {
+	return config.CMP{
+		Name:  "test",
+		Cores: cores,
+		Scale: 1,
+		L1: cache.Config{
+			SizeBytes: 1024, LineBytes: 64, Assoc: 4, HitLatency: 1,
+		},
+		L2: cache.Config{
+			SizeBytes: l2Bytes, LineBytes: 64, Assoc: 8, HitLatency: 10,
+		},
+		Memory: memsys.Config{LatencyCycles: 300, ServiceIntervalCycles: 30},
+	}
+}
+
+func TestSingleComputeTaskCycleCount(t *testing.T) {
+	d := dag.New("one")
+	d.AddComputeTask("t", 1000)
+	res, err := Run(d, sched.NewPDF(), testConfig(1, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cycles != 1000 {
+		t.Fatalf("Cycles = %d, want 1000 (1 IPC, no memory)", res.Cycles)
+	}
+	if res.Instructions != 1000 || res.TasksExecuted != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSingleReferenceLatencies(t *testing.T) {
+	// One task with a single cold reference: 5 instr + L1 miss + L2 miss
+	// -> memory: 5 + 1 + 10 + 300 = 316 cycles.
+	d := dag.New("one-ref")
+	d.AddTask("t", refs.NewPoints([]refs.Ref{{Addr: 0, Instrs: 5}}, 0))
+	res, err := Run(d, sched.NewPDF(), testConfig(1, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64(5 + 1 + 10 + 300)
+	if res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.L2.Misses != 1 || res.Mem.Fetches != 1 {
+		t.Fatalf("miss accounting: L2=%+v mem=%+v", res.L2, res.Mem)
+	}
+}
+
+func TestRepeatedReferenceHitsInL1(t *testing.T) {
+	// Second access to the same line is an L1 hit: 2 + 1 cycles.
+	d := dag.New("two-ref")
+	d.AddTask("t", refs.NewPoints([]refs.Ref{
+		{Addr: 128, Instrs: 2},
+		{Addr: 128, Instrs: 2},
+	}, 0))
+	res, err := Run(d, sched.NewPDF(), testConfig(1, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64((2 + 1 + 10 + 300) + (2 + 1))
+	if res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.L1.Hits != 1 {
+		t.Fatalf("L1 hits = %d, want 1", res.L1.Hits)
+	}
+}
+
+func TestTailInstructionsCharged(t *testing.T) {
+	// A task whose generator reports more instructions than the sum of
+	// its per-reference counts: the remainder is charged after the last
+	// reference.
+	d := dag.New("tail")
+	d.AddTask("t", refs.NewWithTail(refs.NewPoints([]refs.Ref{{Addr: 0, Instrs: 1}}, 0), 50))
+	res, err := Run(d, sched.NewPDF(), testConfig(1, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64(1 + 1 + 10 + 300 + 50)
+	if res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, want)
+	}
+}
+
+func TestDependenciesRespected(t *testing.T) {
+	d := dag.New("diamond")
+	a := d.AddComputeTask("a", 100)
+	b := d.AddComputeTask("b", 200)
+	c := d.AddComputeTask("c", 300)
+	e := d.AddComputeTask("e", 50)
+	d.Fork(a.ID, b.ID, c.ID)
+	d.Join(e.ID, b.ID, c.ID)
+	for _, name := range sched.Names() {
+		s, _ := sched.New(name)
+		res, err := Run(d, s, testConfig(2, 64*1024))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ts := res.TaskStats
+		if ts == nil {
+			t.Fatalf("%s: TaskStats not recorded", name)
+		}
+		for _, task := range d.Tasks() {
+			for _, p := range task.Preds {
+				if ts[task.ID].Start < ts[p].End {
+					t.Fatalf("%s: task %d started at %d before pred %d ended at %d",
+						name, task.ID, ts[task.ID].Start, p, ts[p].End)
+				}
+			}
+		}
+		// b and c run in parallel on 2 cores: makespan = 100+300+50.
+		if res.Cycles != 450 {
+			t.Fatalf("%s: Cycles = %d, want 450", name, res.Cycles)
+		}
+	}
+}
+
+func TestPerCoreSerialExecutionNoOverlap(t *testing.T) {
+	d := dag.New("fan")
+	root := d.AddComputeTask("root", 10)
+	for i := 0; i < 8; i++ {
+		c := d.AddComputeTask("c", 100)
+		d.MustEdge(root.ID, c.ID)
+	}
+	res, err := Run(d, sched.NewWS(), testConfig(2, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Group tasks by core and check their spans do not overlap.
+	byCore := map[int][]TaskStat{}
+	for _, ts := range res.TaskStats {
+		byCore[ts.Core] = append(byCore[ts.Core], ts)
+	}
+	for core, list := range byCore {
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.Start < b.End && b.Start < a.End && a != b {
+					t.Fatalf("core %d executed overlapping tasks %+v and %+v", core, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSpeedupOnComputeBoundDAG(t *testing.T) {
+	build := func() *dag.DAG {
+		d := dag.New("parallel")
+		root := d.AddComputeTask("root", 1)
+		for i := 0; i < 16; i++ {
+			c := d.AddComputeTask("c", 10000)
+			d.MustEdge(root.ID, c.ID)
+		}
+		return d
+	}
+	seq, err := RunSequential(build(), testConfig(4, 64*1024))
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := Run(build(), sched.NewPDF(), testConfig(4, 64*1024))
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	speedup := par.Speedup(seq)
+	if speedup < 3.5 || speedup > 4.1 {
+		t.Fatalf("speedup = %.2f, want ~4 for 4 cores on compute-bound work", speedup)
+	}
+	if len(par.CoreBusyCycles) != 4 {
+		t.Fatalf("CoreBusyCycles length %d", len(par.CoreBusyCycles))
+	}
+	if par.AvgCoreUtilization() < 0.9 {
+		t.Fatalf("core utilization %.2f too low for balanced compute", par.AvgCoreUtilization())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *dag.DAG {
+		d := dag.New("det")
+		root := d.AddComputeTask("root", 5)
+		for i := 0; i < 12; i++ {
+			c := d.AddTask("c", &refs.Random{Base: uint64(i) << 20, Bytes: 1 << 16, LineBytes: 64, Count: 500, Seed: uint64(i), InstrsPerRef: 3})
+			d.MustEdge(root.ID, c.ID)
+		}
+		return d
+	}
+	for _, name := range sched.Names() {
+		s1, _ := sched.New(name)
+		s2, _ := sched.New(name)
+		r1, err := Run(build(), s1, testConfig(4, 32*1024))
+		if err != nil {
+			t.Fatalf("%s run1: %v", name, err)
+		}
+		r2, err := Run(build(), s2, testConfig(4, 32*1024))
+		if err != nil {
+			t.Fatalf("%s run2: %v", name, err)
+		}
+		if r1.Cycles != r2.Cycles || r1.L2.Misses != r2.L2.Misses || r1.Mem.Fetches != r2.Mem.Fetches {
+			t.Fatalf("%s: non-deterministic results: %d/%d vs %d/%d cycles/misses",
+				name, r1.Cycles, r1.L2.Misses, r2.Cycles, r2.L2.Misses)
+		}
+	}
+}
+
+// constructiveSharingDAG builds a DAG in which the first wave of tasks all
+// scan region A and the second wave all scan region B, each region sized to
+// fit the shared L2 on its own but not together. PDF co-schedules tasks of
+// the same wave (constructive sharing); WS mixes waves across cores.
+func constructiveSharingDAG(cores int, regionBytes int64) *dag.DAG {
+	d := dag.New("constructive")
+	root := d.AddComputeTask("root", 1)
+	const lineBytes = 64
+	baseA := uint64(1) << 30
+	baseB := uint64(2) << 30
+	for wave, base := range []uint64{baseA, baseB} {
+		for i := 0; i < cores; i++ {
+			g := &refs.Scan{Base: base, Bytes: regionBytes, LineBytes: lineBytes, InstrsPerRef: 4, Passes: 2}
+			task := d.AddTask("scan", g)
+			task.Level = wave
+			d.MustEdge(root.ID, task.ID)
+		}
+	}
+	return d
+}
+
+func TestPDFConstructiveSharingBeatsWS(t *testing.T) {
+	const cores = 4
+	l2 := int64(64 * 1024)
+	region := l2 * 3 / 4 // one region fits, two do not
+	pdfRes, err := Run(constructiveSharingDAG(cores, region), sched.NewPDF(), testConfig(cores, l2))
+	if err != nil {
+		t.Fatalf("pdf: %v", err)
+	}
+	wsRes, err := Run(constructiveSharingDAG(cores, region), sched.NewWS(), testConfig(cores, l2))
+	if err != nil {
+		t.Fatalf("ws: %v", err)
+	}
+	if pdfRes.L2.Misses >= wsRes.L2.Misses {
+		t.Fatalf("PDF should incur fewer L2 misses than WS: pdf=%d ws=%d", pdfRes.L2.Misses, wsRes.L2.Misses)
+	}
+	if pdfRes.Cycles >= wsRes.Cycles {
+		t.Fatalf("PDF should be faster than WS: pdf=%d ws=%d cycles", pdfRes.Cycles, wsRes.Cycles)
+	}
+	// The per-level miss breakdown should be recorded and attributable.
+	d := constructiveSharingDAG(cores, region)
+	res, err := Run(d, sched.NewPDF(), testConfig(cores, l2))
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	byLevel := res.L2MissesByLevel(d)
+	if byLevel[0]+byLevel[1] <= 0 {
+		t.Fatalf("per-level misses not recorded: %v", byLevel)
+	}
+}
+
+func TestMemoryBandwidthUtilizationReported(t *testing.T) {
+	// Streaming writes from several cores saturate the off-chip channel.
+	d := dag.New("stream")
+	root := d.AddComputeTask("root", 1)
+	for i := 0; i < 8; i++ {
+		g := &refs.Scan{Base: uint64(i) << 28, Bytes: 1 << 18, LineBytes: 64, InstrsPerRef: 1, Write: true}
+		c := d.AddTask("stream", g)
+		d.MustEdge(root.ID, c.ID)
+	}
+	res, err := Run(d, sched.NewWS(), testConfig(8, 32*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MemUtilization <= 0.5 || res.MemUtilization > 1.0 {
+		t.Fatalf("MemUtilization = %.3f, want high (bandwidth-bound streaming)", res.MemUtilization)
+	}
+	if res.Mem.QueueCycles == 0 {
+		t.Fatalf("expected queueing delay under bandwidth contention")
+	}
+}
+
+func TestRunSequentialUsesOneCore(t *testing.T) {
+	d := dag.New("seq")
+	root := d.AddComputeTask("root", 1)
+	a := d.AddComputeTask("a", 100)
+	b := d.AddComputeTask("b", 100)
+	d.Fork(root.ID, a.ID, b.ID)
+	res, err := RunSequential(d, testConfig(8, 64*1024))
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	if res.Config.Cores != 1 {
+		t.Fatalf("sequential run used %d cores", res.Config.Cores)
+	}
+	if res.Cycles != 201 {
+		t.Fatalf("Cycles = %d, want 201", res.Cycles)
+	}
+}
+
+func TestSchedulerMetricsExposed(t *testing.T) {
+	d := dag.New("steal")
+	root := d.AddComputeTask("root", 1)
+	for i := 0; i < 16; i++ {
+		c := d.AddComputeTask("c", 5000)
+		d.MustEdge(root.ID, c.ID)
+	}
+	res, err := Run(d, sched.NewWS(), testConfig(4, 64*1024))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SchedMetrics["steals"] == 0 {
+		t.Fatalf("expected steals on a 4-core fan-out, metrics=%v", res.SchedMetrics)
+	}
+	if res.Scheduler != "ws" {
+		t.Fatalf("Scheduler = %q", res.Scheduler)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	empty := dag.New("empty")
+	if _, err := Run(empty, sched.NewPDF(), testConfig(1, 64*1024)); err == nil {
+		t.Fatalf("empty DAG accepted")
+	}
+
+	d := dag.New("one")
+	d.AddComputeTask("t", 10)
+	bad := testConfig(0, 64*1024)
+	if _, err := Run(d, sched.NewPDF(), bad); err == nil {
+		t.Fatalf("invalid config accepted")
+	}
+
+	// MaxCycles exceeded.
+	big := dag.New("big")
+	big.AddComputeTask("t", 1_000_000)
+	opts := DefaultOptions()
+	opts.MaxCycles = 10
+	if _, err := RunWithOptions(big, sched.NewPDF(), testConfig(1, 64*1024), opts); err == nil {
+		t.Fatalf("MaxCycles not enforced")
+	}
+
+	// Invalid DAG rejected when validation enabled.
+	inv := dag.New("invalid")
+	a := inv.AddComputeTask("a", 1)
+	b := inv.AddComputeTask("b", 1)
+	inv.Task(b.ID).Succs = append(inv.Task(b.ID).Succs, a.ID)
+	inv.Task(a.ID).Preds = append(inv.Task(a.ID).Preds, b.ID)
+	if _, err := Run(inv, sched.NewPDF(), testConfig(1, 64*1024)); err == nil {
+		t.Fatalf("invalid DAG accepted")
+	}
+}
+
+func TestResultMetricHelpers(t *testing.T) {
+	r := &Result{Instructions: 2000, L2: cache.Stats{Misses: 3}}
+	if got := r.L2MissesPerKiloInstr(); got != 1.5 {
+		t.Fatalf("L2MissesPerKiloInstr = %f, want 1.5", got)
+	}
+	empty := &Result{}
+	if empty.L2MissesPerKiloInstr() != 0 || empty.AvgCoreUtilization() != 0 || empty.Speedup(r) != 0 {
+		t.Fatalf("zero-value metric helpers should return 0")
+	}
+}
+
+func TestTaskStatsOptional(t *testing.T) {
+	d := dag.New("opt")
+	d.AddComputeTask("t", 10)
+	opts := DefaultOptions()
+	opts.RecordTaskStats = false
+	res, err := RunWithOptions(d, sched.NewPDF(), testConfig(1, 64*1024), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TaskStats != nil {
+		t.Fatalf("TaskStats should be nil when not recorded")
+	}
+	if len(res.L2MissesByLevel(d)) != 0 {
+		t.Fatalf("L2MissesByLevel should be empty without TaskStats")
+	}
+}

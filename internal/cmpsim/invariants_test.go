@@ -1,0 +1,141 @@
+package cmpsim
+
+import (
+	"testing"
+
+	"cmpsched/internal/config"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/workload"
+)
+
+// Cross-scheduler invariants on a real workload: every scheduler executes
+// every task exactly once, misses never drop below the sequential cold-miss
+// floor of the trace, and the greedy schedules respect dependences.
+func TestSchedulerInvariantsOnMergesort(t *testing.T) {
+	build := func() *workload.Mergesort {
+		return workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 14, TaskWorkingSetBytes: 4 << 10})
+	}
+	cfg := config.MustDefault(4).Scaled(config.DefaultScale * 16)
+
+	d, _, err := build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequential(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range sched.Names() {
+		d, _, err := build().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := sched.New(name)
+		res, err := Run(d, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TasksExecuted != d.NumTasks() {
+			t.Fatalf("%s executed %d of %d tasks", name, res.TasksExecuted, d.NumTasks())
+		}
+		if res.Instructions != seq.Instructions || res.Refs != seq.Refs {
+			t.Fatalf("%s: work changed relative to sequential run", name)
+		}
+		// A parallel greedy schedule can never beat the sum of work
+		// divided by cores, and never exceeds the sequential time.
+		if res.Cycles > seq.Cycles {
+			t.Fatalf("%s: parallel run slower than sequential: %d > %d", name, res.Cycles, seq.Cycles)
+		}
+		if res.Cycles*int64(cfg.Cores) < seq.Instructions {
+			t.Fatalf("%s: parallel run faster than the work bound", name)
+		}
+		// Cold misses are unavoidable: the trace touches a fixed set of
+		// distinct lines, and every scheduler must miss at least once per
+		// distinct line in the shared L2.
+		if res.L2.Misses < seq.L2.Misses/4 {
+			t.Fatalf("%s: implausibly few L2 misses (%d vs sequential %d)", name, res.L2.Misses, seq.L2.Misses)
+		}
+		// Dependences respected.
+		for _, task := range d.Tasks() {
+			for _, p := range task.Preds {
+				if res.TaskStats[task.ID].Start < res.TaskStats[p].End {
+					t.Fatalf("%s: dependence violated for task %d", name, task.ID)
+				}
+			}
+		}
+	}
+}
+
+// PDF on a single core reproduces the sequential schedule exactly.
+func TestPDFOnOneCoreMatchesSequential(t *testing.T) {
+	d, _, err := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 13, TaskWorkingSetBytes: 4 << 10}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.MustDefault(8).Scaled(config.DefaultScale * 16)
+	seq, err := RunSequential(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := cfg
+	one.Cores = 1
+	d2, _, err := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 13, TaskWorkingSetBytes: 4 << 10}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d2, sched.NewPDF(), one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != seq.Cycles || res.L2.Misses != seq.L2.Misses {
+		t.Fatalf("PDF on one core differs from the sequential baseline: %d/%d vs %d/%d cycles/misses",
+			res.Cycles, res.L2.Misses, seq.Cycles, seq.L2.Misses)
+	}
+	// WS on one core is also a valid sequential execution (it may visit
+	// tasks in a different depth-first order but does the same work).
+	d3, _, err := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 13, TaskWorkingSetBytes: 4 << 10}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Run(d3, sched.NewWS(), one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Instructions != seq.Instructions {
+		t.Fatalf("WS on one core changed the work")
+	}
+}
+
+// The FIFO ablation scheduler also produces a correct (if cache-oblivious)
+// schedule on every workload.
+func TestFIFOCompletesAllWorkloads(t *testing.T) {
+	cfg := config.MustDefault(4).Scaled(config.DefaultScale * 16)
+	for _, name := range workload.Names() {
+		var d interface {
+			NumTasks() int
+		}
+		w, err := workload.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, _, err := w.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if full.NumTasks() > 3000 {
+			// Keep the test quick: skip the largest default inputs, the
+			// per-workload packages cover them.
+			continue
+		}
+		res, err := Run(full, sched.NewFIFO(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TasksExecuted != full.NumTasks() {
+			t.Fatalf("%s: FIFO executed %d of %d tasks", name, res.TasksExecuted, full.NumTasks())
+		}
+		d = full
+		_ = d
+	}
+}

@@ -1,0 +1,87 @@
+package config
+
+// This file contains a simple area model in the spirit of the paper's
+// methodology (§4.1): a fixed 240 mm² die, 75% of which is devoted to cores,
+// L2 cache and interconnect, 15% of that core-cache area to the
+// interconnect, the remainder split between in-order cores and SRAM.  The
+// published configuration tables (Tables 2 and 3) are authoritative and are
+// encoded verbatim in config.go; the model here exists so that the trade-off
+// between core count and cache capacity can be explored beyond the published
+// points (e.g. by the hashjoin_design_space example), and is calibrated so
+// that its 45 nm predictions bracket Table 3.
+
+// AreaModel captures the area-budget parameters.
+type AreaModel struct {
+	// DieMM2 is the total die area in mm².
+	DieMM2 float64
+	// CoreCacheFraction is the fraction of the die devoted to cores,
+	// cache and interconnect (0.75 in the paper).
+	CoreCacheFraction float64
+	// InterconnectFraction is the fraction of the core-cache area used by
+	// the interconnect (0.15 in the paper).
+	InterconnectFraction float64
+	// CoreAreaMM2 maps process technology (nm) to the area of one
+	// single-threaded in-order core.
+	CoreAreaMM2 map[int]float64
+	// CacheMM2PerMB maps process technology (nm) to the SRAM area cost of
+	// one megabyte of L2 cache.
+	CacheMM2PerMB map[int]float64
+}
+
+// DefaultAreaModel returns an area model calibrated against Table 3: at
+// 45 nm, 1 core leaves room for roughly 48 MB of L2 and 26 cores leave room
+// for roughly 1 MB.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		DieMM2:               240,
+		CoreCacheFraction:    0.75,
+		InterconnectFraction: 0.15,
+		CoreAreaMM2: map[int]float64{
+			90: 22.0,
+			65: 11.5,
+			45: 5.65,
+			32: 2.9,
+		},
+		CacheMM2PerMB: map[int]float64{
+			90: 12.0,
+			65: 6.1,
+			45: 3.05,
+			32: 1.55,
+		},
+	}
+}
+
+// UsableAreaMM2 returns the die area available for cores plus cache.
+func (m AreaModel) UsableAreaMM2() float64 {
+	return m.DieMM2 * m.CoreCacheFraction * (1 - m.InterconnectFraction)
+}
+
+// CacheMBFor returns the L2 capacity (in MB) left after placing `cores`
+// cores at the given technology node, or 0 when the cores alone exceed the
+// budget. The result is a continuous estimate; real designs round to bank
+// multiples.
+func (m AreaModel) CacheMBFor(techNM, cores int) float64 {
+	coreArea, okCore := m.CoreAreaMM2[techNM]
+	perMB, okCache := m.CacheMM2PerMB[techNM]
+	if !okCore || !okCache || cores < 0 {
+		return 0
+	}
+	remaining := m.UsableAreaMM2() - float64(cores)*coreArea
+	if remaining <= 0 {
+		return 0
+	}
+	return remaining / perMB
+}
+
+// MaxCores returns the largest core count that still leaves room for at
+// least minCacheMB of L2 at the given technology node.
+func (m AreaModel) MaxCores(techNM int, minCacheMB float64) int {
+	cores := 0
+	for m.CacheMBFor(techNM, cores+1) >= minCacheMB {
+		cores++
+		if cores > 1024 {
+			break
+		}
+	}
+	return cores
+}

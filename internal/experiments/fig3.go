@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/stats"
+)
+
+// Figure3Row is one point of Figure 3: a benchmark on one 45 nm
+// configuration under one scheduler.
+type Figure3Row struct {
+	Workload  string
+	Cores     int
+	Scheduler string
+	Cycles    int64
+	// L2SizeBytes records the (scaled) cache size of the configuration,
+	// which shrinks as cores are added within the fixed technology.
+	L2SizeBytes    int64
+	MemUtilization float64
+}
+
+// Figure3Result holds the execution-time curves of Figure 3.
+type Figure3Result struct {
+	Rows  []Figure3Row
+	Scale int64
+}
+
+// Figure3Workloads lists the benchmarks of Figure 3.
+func Figure3Workloads() []string { return []string{"hashjoin", "mergesort"} }
+
+// Figure3 reproduces Figure 3: execution time of Hash Join and Mergesort
+// under PDF and WS across the 45 nm single-technology design space (Table 3),
+// where adding cores shrinks the shared L2.
+func Figure3(opts Options) (*Figure3Result, error) {
+	res := &Figure3Result{Scale: opts.effectiveScale()}
+	coreList := opts.coresOrDefault([]int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26})
+	for _, wl := range Figure3Workloads() {
+		for _, cores := range coreList {
+			cfg, err := opts.scaled45nm(cores)
+			if err != nil {
+				return nil, err
+			}
+			build := func() (*dag.DAG, error) {
+				d, _, err := opts.buildWorkload(wl, cfg)
+				return d, err
+			}
+			pdf, ws, err := runSchedulers(build, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure3 %s/%d cores: %w", wl, cores, err)
+			}
+			res.Rows = append(res.Rows,
+				Figure3Row{Workload: wl, Cores: cores, Scheduler: "pdf", Cycles: pdf.Cycles, L2SizeBytes: cfg.L2.SizeBytes, MemUtilization: pdf.MemUtilization},
+				Figure3Row{Workload: wl, Cores: cores, Scheduler: "ws", Cycles: ws.Cycles, L2SizeBytes: cfg.L2.SizeBytes, MemUtilization: ws.MemUtilization},
+			)
+		}
+	}
+	return res, nil
+}
+
+// Cycles returns the execution time for a workload/cores/scheduler point, or
+// 0 if missing.
+func (r *Figure3Result) Cycles(workload string, cores int, scheduler string) int64 {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Cores == cores && row.Scheduler == scheduler {
+			return row.Cycles
+		}
+	}
+	return 0
+}
+
+// BestCores returns the core count with the lowest execution time for the
+// workload under the scheduler (the design-point discussion of §5.2).
+func (r *Figure3Result) BestCores(workload, scheduler string) (cores int, cycles int64) {
+	for _, row := range r.Rows {
+		if row.Workload != workload || row.Scheduler != scheduler {
+			continue
+		}
+		if cycles == 0 || row.Cycles < cycles {
+			cycles = row.Cycles
+			cores = row.Cores
+		}
+	}
+	return cores, cycles
+}
+
+// DesignFreedomCores returns the core counts at which PDF performs at least
+// as well as the best WS point — the paper's argument that PDF broadens the
+// designer's choice of design points.
+func (r *Figure3Result) DesignFreedomCores(workload string) []int {
+	_, bestWS := r.BestCores(workload, "ws")
+	var out []int
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Scheduler == "pdf" && row.Cycles <= bestWS {
+			out = append(out, row.Cores)
+		}
+	}
+	return out
+}
+
+// String renders the Figure 3 series.
+func (r *Figure3Result) String() string {
+	var b strings.Builder
+	for _, wl := range Figure3Workloads() {
+		fmt.Fprintf(&b, "Figure 3: %s execution time, 45nm single technology (capacity scale 1/%d)\n", wl, r.Scale)
+		t := stats.NewTable("cores", "L2 KB", "pdf cycles", "ws cycles", "pdf/ws", "mem util pdf %")
+		for _, row := range r.Rows {
+			if row.Workload != wl || row.Scheduler != "pdf" {
+				continue
+			}
+			ws := r.Cycles(wl, row.Cores, "ws")
+			ratio := 0.0
+			if row.Cycles > 0 {
+				ratio = float64(ws) / float64(row.Cycles)
+			}
+			t.AddRow(
+				fmt.Sprint(row.Cores),
+				fmt.Sprintf("%.0f", float64(row.L2SizeBytes)/1024),
+				fmt.Sprint(row.Cycles),
+				fmt.Sprint(ws),
+				fmt.Sprintf("%.2f", ratio),
+				fmt.Sprintf("%.1f", row.MemUtilization*100),
+			)
+		}
+		b.WriteString(t.String())
+		pdfBest, _ := r.BestCores(wl, "pdf")
+		wsBest, _ := r.BestCores(wl, "ws")
+		fmt.Fprintf(&b, "best design point: pdf=%d cores, ws=%d cores; pdf matches best-WS at cores %v\n\n",
+			pdfBest, wsBest, r.DesignFreedomCores(wl))
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/coarsen"
+	"cmpsched/internal/config"
+	"cmpsched/internal/profile"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/workload"
+)
+
+// Figure8Scheme identifies one bar group of Figure 8.
+type Figure8Scheme string
+
+// The three schemes of Figure 8.
+const (
+	// SchemePrevious uses the manually selected task sizes of §5 (the
+	// left bars).
+	SchemePrevious Figure8Scheme = "previous"
+	// SchemeDAG applies the automatically recommended task selection by
+	// substituting a coarsened task DAG over the finest-grain trace (the
+	// middle bars); merged tasks still pay the parallel-code overheads.
+	SchemeDAG Figure8Scheme = "cache/(2*cores) dag"
+	// SchemeActual regenerates the Mergesort code with the recommended
+	// thresholds (the right bars).
+	SchemeActual Figure8Scheme = "cache/(2*cores) actual"
+)
+
+// Figure8Row is one bar of Figure 8.
+type Figure8Row struct {
+	Cores      int
+	Scheme     Figure8Scheme
+	Cycles     int64
+	Normalized float64
+	// ThresholdBytes is the task working-set threshold the coarsening
+	// pass recommended for the configuration (0 for SchemePrevious).
+	ThresholdBytes int64
+}
+
+// Figure8Result holds the automatic task-coarsening evaluation.
+type Figure8Result struct {
+	Rows  []Figure8Row
+	Scale int64
+}
+
+// Figure8 reproduces Figure 8: Mergesort execution time under PDF on the 32,
+// 16 and 8-core default configurations using (a) the manually chosen task
+// sizes, (b) the automatic selection applied as a DAG substitution over the
+// finest-grain trace, and (c) the automatic selection applied by regenerating
+// the program, normalized per core count to the best of the three.  The
+// paper's finding: the regenerated version is within 5% of the best in all
+// cases.
+func Figure8(opts Options) (*Figure8Result, error) {
+	res := &Figure8Result{Scale: opts.effectiveScale()}
+	coreList := opts.coresOrDefault([]int{32, 16, 8})
+
+	// The finest-grain program: very small tasks, profiled once; the
+	// coarsening analysis is then repeated per CMP configuration (§6.2).
+	fineCfg := opts.mergesortConfig()
+	fineCfg.TaskWorkingSetBytes = maxI64(2<<10, fineCfg.TaskWorkingSetBytes/8)
+	fineDAG, fineTree, err := workload.NewMergesort(fineCfg).Build()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.NewLruTree(profile.Config{
+		LineBytes:  128,
+		CacheSizes: profileSizesFor(opts),
+	}).ProfileDAG(fineDAG)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, cores := range coreList {
+		cfg, err := opts.scaledDefault(cores)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := coarsen.Coarsen(prof, fineTree, coarsen.Params{CacheSizeBytes: cfg.L2.SizeBytes, Cores: cfg.Cores})
+		if err != nil {
+			return nil, err
+		}
+		threshold := int64(sel.Threshold("mergesort.go:sort"))
+
+		// (a) previous: the manual selection used throughout §5.
+		prevDAG, _, err := workload.NewMergesort(opts.mergesortConfig()).Build()
+		if err != nil {
+			return nil, err
+		}
+		prevRes, err := cmpsim.Run(prevDAG, sched.NewPDF(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 previous %d cores: %w", cores, err)
+		}
+
+		// (b) dag substitution over the finest-grain trace.
+		collapsed, err := coarsen.CollapseDAG(fineDAG, fineTree, sel)
+		if err != nil {
+			return nil, err
+		}
+		dagRes, err := cmpsim.Run(collapsed, sched.NewPDF(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 dag %d cores: %w", cores, err)
+		}
+
+		// (c) actual regeneration with the recommended threshold.
+		actualCfg := opts.mergesortConfig()
+		if threshold > 0 {
+			actualCfg.TaskWorkingSetBytes = threshold
+		}
+		actualDAG, _, err := workload.NewMergesort(actualCfg).Build()
+		if err != nil {
+			return nil, err
+		}
+		actualRes, err := cmpsim.Run(actualDAG, sched.NewPDF(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure8 actual %d cores: %w", cores, err)
+		}
+
+		cycles := []float64{float64(prevRes.Cycles), float64(dagRes.Cycles), float64(actualRes.Cycles)}
+		norm := stats.Normalize(cycles)
+		res.Rows = append(res.Rows,
+			Figure8Row{Cores: cores, Scheme: SchemePrevious, Cycles: prevRes.Cycles, Normalized: norm[0]},
+			Figure8Row{Cores: cores, Scheme: SchemeDAG, Cycles: dagRes.Cycles, Normalized: norm[1], ThresholdBytes: threshold},
+			Figure8Row{Cores: cores, Scheme: SchemeActual, Cycles: actualRes.Cycles, Normalized: norm[2], ThresholdBytes: threshold},
+		)
+	}
+	return res, nil
+}
+
+// profileSizesFor returns the ladder of cache sizes used when profiling the
+// finest-grain Mergesort for Figure 8, covering the scaled default configs.
+func profileSizesFor(opts Options) []int64 {
+	scale := opts.effectiveScale()
+	var sizes []int64
+	for _, c := range config.Defaults() {
+		s := c.L2.SizeBytes / scale
+		if s < 2<<10 {
+			s = 2 << 10
+		}
+		sizes = append(sizes, s)
+	}
+	// Add a few smaller rungs so fine groups are resolved too.
+	sizes = append(sizes, 4<<10, 16<<10, 64<<10)
+	// Deduplicate and sort via the profile config normalisation.
+	seen := map[int64]bool{}
+	var out []int64
+	for _, s := range sizes {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Row returns the row for (cores, scheme), or nil.
+func (r *Figure8Result) Row(cores int, scheme Figure8Scheme) *Figure8Row {
+	for i := range r.Rows {
+		if r.Rows[i].Cores == cores && r.Rows[i].Scheme == scheme {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// WorstNormalized returns the largest normalized execution time for a scheme
+// across core counts (the paper: "within 5% of the optimal in all cases" for
+// the actual scheme).
+func (r *Figure8Result) WorstNormalized(scheme Figure8Scheme) float64 {
+	worst := 0.0
+	for _, row := range r.Rows {
+		if row.Scheme == scheme && row.Normalized > worst {
+			worst = row.Normalized
+		}
+	}
+	return worst
+}
+
+// String renders Figure 8.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: automatic task-coarsening effectiveness (Mergesort, PDF, capacity scale 1/%d)\n", r.Scale)
+	t := stats.NewTable("cores", "scheme", "cycles", "normalized to best", "threshold (KB)")
+	for _, row := range r.Rows {
+		thr := ""
+		if row.ThresholdBytes > 0 {
+			thr = fmt.Sprintf("%.0f", float64(row.ThresholdBytes)/1024)
+		}
+		t.AddRow(fmt.Sprint(row.Cores), string(row.Scheme), fmt.Sprint(row.Cycles),
+			fmt.Sprintf("%.3f", row.Normalized), thr)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "worst normalized: previous %.3f, dag %.3f, actual %.3f\n\n",
+		r.WorstNormalized(SchemePrevious), r.WorstNormalized(SchemeDAG), r.WorstNormalized(SchemeActual))
+	return b.String()
+}

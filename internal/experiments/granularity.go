@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/workload"
+)
+
+// GranularityRow compares a benchmark's original coarse-grained threading
+// against the fine-grained version used in the paper (§5.4: "our fine-grained
+// versions are up to 2.85X faster than the coarse-grained originals").
+type GranularityRow struct {
+	Workload     string
+	Scheduler    string
+	CoarseCycles int64
+	FineCycles   int64
+}
+
+// Speedup returns the fine-over-coarse speedup.
+func (g GranularityRow) Speedup() float64 {
+	if g.FineCycles == 0 {
+		return 0
+	}
+	return float64(g.CoarseCycles) / float64(g.FineCycles)
+}
+
+// GranularityResult holds the §5.4 coarse-vs-fine comparison.
+type GranularityResult struct {
+	Cores int
+	Rows  []GranularityRow
+	Scale int64
+}
+
+// Granularity reproduces the §5.4 comparison on the 16-core default
+// configuration: Hash Join with one thread per sub-partition (the original
+// code) vs the parallelised probe, and Mergesort with a serial merge (as in
+// libpmsort) vs the parallel k-way split merge.
+func Granularity(opts Options) (*GranularityResult, error) {
+	cfg, err := opts.scaledDefault(16)
+	if err != nil {
+		return nil, err
+	}
+	res := &GranularityResult{Cores: cfg.Cores, Scale: opts.effectiveScale()}
+
+	type variant struct {
+		workload string
+		coarse   func() (*dag.DAG, error)
+		fine     func() (*dag.DAG, error)
+	}
+	hjFine := opts.hashJoinConfig(cfg)
+	hjCoarse := hjFine
+	hjCoarse.CoarseGrained = true
+	msFine := opts.mergesortConfig()
+	msCoarse := msFine
+	msCoarse.SerialMerge = true
+	variants := []variant{
+		{
+			workload: "hashjoin",
+			coarse: func() (*dag.DAG, error) {
+				d, _, err := workload.NewHashJoin(hjCoarse).Build()
+				return d, err
+			},
+			fine: func() (*dag.DAG, error) {
+				d, _, err := workload.NewHashJoin(hjFine).Build()
+				return d, err
+			},
+		},
+		{
+			workload: "mergesort",
+			coarse: func() (*dag.DAG, error) {
+				d, _, err := workload.NewMergesort(msCoarse).Build()
+				return d, err
+			},
+			fine: func() (*dag.DAG, error) {
+				d, _, err := workload.NewMergesort(msFine).Build()
+				return d, err
+			},
+		},
+	}
+	for _, v := range variants {
+		coarsePDF, coarseWS, err := runSchedulers(v.coarse, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("granularity %s coarse: %w", v.workload, err)
+		}
+		finePDF, fineWS, err := runSchedulers(v.fine, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("granularity %s fine: %w", v.workload, err)
+		}
+		res.Rows = append(res.Rows,
+			GranularityRow{Workload: v.workload, Scheduler: "pdf", CoarseCycles: coarsePDF.Cycles, FineCycles: finePDF.Cycles},
+			GranularityRow{Workload: v.workload, Scheduler: "ws", CoarseCycles: coarseWS.Cycles, FineCycles: fineWS.Cycles},
+		)
+	}
+	return res, nil
+}
+
+// Row returns the row for a workload and scheduler, or nil.
+func (r *GranularityResult) Row(workload, scheduler string) *GranularityRow {
+	for i := range r.Rows {
+		if r.Rows[i].Workload == workload && r.Rows[i].Scheduler == scheduler {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// String renders the comparison.
+func (r *GranularityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§5.4 fine- vs coarse-grained threading on %d cores (capacity scale 1/%d)\n", r.Cores, r.Scale)
+	t := stats.NewTable("workload", "sched", "coarse cycles", "fine cycles", "fine/coarse speedup")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Scheduler, fmt.Sprint(row.CoarseCycles), fmt.Sprint(row.FineCycles),
+			fmt.Sprintf("%.2f", row.Speedup()))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+	return b.String()
+}

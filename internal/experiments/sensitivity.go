@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/stats"
+)
+
+// SensitivityRow is one point of Figure 4 or Figure 5.
+type SensitivityRow struct {
+	Workload  string
+	Scheduler string
+	// Parameter is the swept value: the L2 hit latency (Figure 4) or the
+	// main-memory latency (Figure 5), in cycles.
+	Parameter int64
+	Cycles    int64
+}
+
+// SensitivityResult holds a parameter-sensitivity sweep on the 16-core
+// default configuration.
+type SensitivityResult struct {
+	// Name is "figure4" or "figure5".
+	Name      string
+	Parameter string
+	Rows      []SensitivityRow
+	Scale     int64
+}
+
+// Figure4 reproduces Figure 4: PDF vs WS on the 16-core default
+// configuration with the L2 hit time set to 7 and 19 cycles.  The paper's
+// observation: PDF on a slow monolithic shared L2 (19 cycles) still beats WS
+// on a fast distributed L2 (7 cycles) because the L2 miss time dominates.
+func Figure4(opts Options) (*SensitivityResult, error) {
+	return sensitivity(opts, "figure4", "L2 hit cycles", config.L2HitLatencySweep(),
+		func(cfg config.CMP, v int64) config.CMP { return cfg.WithL2HitLatency(v) })
+}
+
+// Figure5 reproduces Figure 5: PDF vs WS on the 16-core default
+// configuration with main-memory latency varied from 100 to 1100 cycles.
+func Figure5(opts Options) (*SensitivityResult, error) {
+	return sensitivity(opts, "figure5", "memory latency", config.MemLatencySweep(),
+		func(cfg config.CMP, v int64) config.CMP { return cfg.WithMemLatency(v) })
+}
+
+func sensitivity(opts Options, name, param string, sweep []int64, apply func(config.CMP, int64) config.CMP) (*SensitivityResult, error) {
+	base, err := opts.scaledDefault(16)
+	if err != nil {
+		return nil, err
+	}
+	res := &SensitivityResult{Name: name, Parameter: param, Scale: opts.effectiveScale()}
+	for _, wl := range []string{"hashjoin", "mergesort"} {
+		for _, v := range sweep {
+			cfg := apply(base, v)
+			build := func() (*dag.DAG, error) {
+				d, _, err := opts.buildWorkload(wl, cfg)
+				return d, err
+			}
+			pdf, ws, err := runSchedulers(build, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %s=%d: %w", name, wl, param, v, err)
+			}
+			res.Rows = append(res.Rows,
+				SensitivityRow{Workload: wl, Scheduler: "pdf", Parameter: v, Cycles: pdf.Cycles},
+				SensitivityRow{Workload: wl, Scheduler: "ws", Parameter: v, Cycles: ws.Cycles},
+			)
+		}
+	}
+	return res, nil
+}
+
+// Cycles returns the execution time for a point, or 0.
+func (r *SensitivityResult) Cycles(workload string, scheduler string, parameter int64) int64 {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Scheduler == scheduler && row.Parameter == parameter {
+			return row.Cycles
+		}
+	}
+	return 0
+}
+
+// RelativeSpeedup returns WS cycles / PDF cycles at the given sweep value.
+func (r *SensitivityResult) RelativeSpeedup(workload string, parameter int64) float64 {
+	pdf := r.Cycles(workload, "pdf", parameter)
+	ws := r.Cycles(workload, "ws", parameter)
+	if pdf == 0 {
+		return 0
+	}
+	return float64(ws) / float64(pdf)
+}
+
+// SlowPDFBeatsFastWS reports whether PDF at the largest swept parameter value
+// still outperforms WS at the smallest — the §5.3 "slow shared cache vs fast
+// distributed cache" comparison (meaningful for Figure 4).
+func (r *SensitivityResult) SlowPDFBeatsFastWS(workload string) bool {
+	if len(r.Rows) == 0 {
+		return false
+	}
+	minP, maxP := r.Rows[0].Parameter, r.Rows[0].Parameter
+	for _, row := range r.Rows {
+		if row.Parameter < minP {
+			minP = row.Parameter
+		}
+		if row.Parameter > maxP {
+			maxP = row.Parameter
+		}
+	}
+	pdfSlow := r.Cycles(workload, "pdf", maxP)
+	wsFast := r.Cycles(workload, "ws", minP)
+	return pdfSlow > 0 && wsFast > 0 && pdfSlow <= wsFast
+}
+
+// String renders the sweep.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: varying %s on the 16-core default configuration (capacity scale 1/%d)\n", r.Name, r.Parameter, r.Scale)
+	t := stats.NewTable("workload", r.Parameter, "pdf cycles", "ws cycles", "pdf/ws")
+	for _, row := range r.Rows {
+		if row.Scheduler != "pdf" {
+			continue
+		}
+		ws := r.Cycles(row.Workload, "ws", row.Parameter)
+		t.AddRow(row.Workload, fmt.Sprint(row.Parameter), fmt.Sprint(row.Cycles), fmt.Sprint(ws),
+			fmt.Sprintf("%.2f", r.RelativeSpeedup(row.Workload, row.Parameter)))
+	}
+	b.WriteString(t.String())
+	if r.Name == "figure4" {
+		for _, wl := range []string{"hashjoin", "mergesort"} {
+			fmt.Fprintf(&b, "%s: PDF with slow L2 beats WS with fast L2: %v\n", wl, r.SlowPDFBeatsFastWS(wl))
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

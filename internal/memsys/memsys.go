@@ -1,0 +1,129 @@
+// Package memsys models the off-chip memory system: a fixed access latency
+// plus a pin-bandwidth constraint expressed as a service interval (cycles
+// between successive line transfers), as in Table 1 of the paper
+// (latency 300 cycles, service rate 30 cycles).
+//
+// The bandwidth channel is a single FIFO resource: a request issued at time
+// t starts service at max(t, nextFree); queueing delay is charged to the
+// requester.  Write-backs occupy a transfer slot but do not stall the
+// requesting core.
+package memsys
+
+import "fmt"
+
+// Config describes the off-chip memory system.
+type Config struct {
+	// LatencyCycles is the unloaded latency of a line fetch.
+	LatencyCycles int64
+	// ServiceIntervalCycles is the minimum spacing between successive
+	// off-chip transfers; it encodes the pin bandwidth (one 128-byte line
+	// every 30 cycles in the paper's configurations).
+	ServiceIntervalCycles int64
+}
+
+// Validate reports inconsistent configurations.
+func (c Config) Validate() error {
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("memsys: negative latency %d", c.LatencyCycles)
+	}
+	if c.ServiceIntervalCycles < 0 {
+		return fmt.Errorf("memsys: negative service interval %d", c.ServiceIntervalCycles)
+	}
+	return nil
+}
+
+// Stats summarises memory-system activity.
+type Stats struct {
+	// Fetches is the number of demand line fetches.
+	Fetches int64
+	// Writebacks is the number of dirty-line write-backs.
+	Writebacks int64
+	// QueueCycles is the total time requests spent waiting for the
+	// bandwidth channel.
+	QueueCycles int64
+	// BusyCycles is the total time the channel spent transferring.
+	BusyCycles int64
+}
+
+// Transfers returns the total number of off-chip transfers.
+func (s Stats) Transfers() int64 { return s.Fetches + s.Writebacks }
+
+// Memory is the off-chip memory model. The zero value is unusable; use New.
+type Memory struct {
+	cfg      Config
+	nextFree int64
+	stats    Stats
+}
+
+// New returns a memory system with the given configuration.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{cfg: cfg}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Memory {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Fetch issues a demand line fetch at time now and returns the cycle at
+// which the data is available to the requester (queueing + latency).
+func (m *Memory) Fetch(now int64) int64 {
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	m.stats.QueueCycles += start - now
+	m.nextFree = start + m.cfg.ServiceIntervalCycles
+	m.stats.BusyCycles += m.cfg.ServiceIntervalCycles
+	m.stats.Fetches++
+	return start + m.cfg.LatencyCycles
+}
+
+// Writeback schedules a dirty-line write-back at time now. The requester
+// does not wait for it, but it consumes a bandwidth slot, delaying later
+// transfers.
+func (m *Memory) Writeback(now int64) {
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	m.nextFree = start + m.cfg.ServiceIntervalCycles
+	m.stats.BusyCycles += m.cfg.ServiceIntervalCycles
+	m.stats.Writebacks++
+}
+
+// NextFree returns the earliest cycle at which the channel is idle. It is
+// exposed for tests and for bandwidth-utilization reporting.
+func (m *Memory) NextFree() int64 { return m.nextFree }
+
+// Utilization returns the fraction of elapsed cycles the off-chip channel
+// was busy, in [0, 1]. elapsed must be positive for a meaningful result.
+func (m *Memory) Utilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(m.stats.BusyCycles) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset clears all state and statistics.
+func (m *Memory) Reset() {
+	m.nextFree = 0
+	m.stats = Stats{}
+}

@@ -1,0 +1,149 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperMemory(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(Config{LatencyCycles: 300, ServiceIntervalCycles: 30})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{LatencyCycles: -1}).Validate(); err == nil {
+		t.Fatalf("accepted negative latency")
+	}
+	if err := (Config{ServiceIntervalCycles: -1}).Validate(); err == nil {
+		t.Fatalf("accepted negative service interval")
+	}
+	if _, err := New(Config{LatencyCycles: -1}); err == nil {
+		t.Fatalf("New accepted invalid config")
+	}
+}
+
+func TestUncontendedFetchLatency(t *testing.T) {
+	m := paperMemory(t)
+	done := m.Fetch(1000)
+	if done != 1300 {
+		t.Fatalf("fetch completion = %d, want 1300", done)
+	}
+	s := m.Stats()
+	if s.Fetches != 1 || s.QueueCycles != 0 || s.BusyCycles != 30 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	m := paperMemory(t)
+	// Two simultaneous fetches: the second queues for one service interval.
+	d1 := m.Fetch(0)
+	d2 := m.Fetch(0)
+	if d1 != 300 {
+		t.Fatalf("first fetch = %d, want 300", d1)
+	}
+	if d2 != 330 {
+		t.Fatalf("second fetch = %d, want 330 (queued behind the first)", d2)
+	}
+	if m.Stats().QueueCycles != 30 {
+		t.Fatalf("queue cycles = %d, want 30", m.Stats().QueueCycles)
+	}
+}
+
+func TestWidelySpacedFetchesDoNotQueue(t *testing.T) {
+	m := paperMemory(t)
+	m.Fetch(0)
+	d := m.Fetch(1000)
+	if d != 1300 {
+		t.Fatalf("spaced fetch = %d, want 1300", d)
+	}
+	if m.Stats().QueueCycles != 0 {
+		t.Fatalf("unexpected queueing: %+v", m.Stats())
+	}
+}
+
+func TestWritebackConsumesBandwidthWithoutStalling(t *testing.T) {
+	m := paperMemory(t)
+	m.Writeback(0)
+	d := m.Fetch(0)
+	if d != 330 {
+		t.Fatalf("fetch after writeback = %d, want 330", d)
+	}
+	s := m.Stats()
+	if s.Writebacks != 1 || s.Transfers() != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := paperMemory(t)
+	for i := 0; i < 10; i++ {
+		m.Fetch(int64(i) * 30)
+	}
+	// 10 transfers x 30 cycles over 300 cycles = 100% busy.
+	if u := m.Utilization(300); u != 1.0 {
+		t.Fatalf("utilization = %f, want 1.0", u)
+	}
+	if u := m.Utilization(600); u != 0.5 {
+		t.Fatalf("utilization = %f, want 0.5", u)
+	}
+	if u := m.Utilization(0); u != 0 {
+		t.Fatalf("utilization with zero elapsed = %f, want 0", u)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := paperMemory(t)
+	m.Fetch(0)
+	m.Reset()
+	if m.Stats().Fetches != 0 || m.NextFree() != 0 {
+		t.Fatalf("Reset did not clear state")
+	}
+}
+
+func TestZeroServiceIntervalMeansInfiniteBandwidth(t *testing.T) {
+	m := MustNew(Config{LatencyCycles: 100, ServiceIntervalCycles: 0})
+	d1 := m.Fetch(0)
+	d2 := m.Fetch(0)
+	if d1 != 100 || d2 != 100 {
+		t.Fatalf("fetches = %d, %d, want 100, 100", d1, d2)
+	}
+}
+
+// Property: completion time is always >= issue time + latency, and issue
+// order preserves channel start order (FIFO).
+func TestPropertyFetchMonotonic(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		m := MustNew(Config{LatencyCycles: 50, ServiceIntervalCycles: 7})
+		now := int64(0)
+		lastDone := int64(0)
+		for _, d := range deltas {
+			now += int64(d % 20)
+			done := m.Fetch(now)
+			if done < now+50 {
+				return false
+			}
+			if done < lastDone {
+				return false
+			}
+			lastDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{LatencyCycles: -1})
+}

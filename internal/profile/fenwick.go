@@ -1,0 +1,41 @@
+package profile
+
+// fenwick is a binary indexed tree over time slots used by the LruTree
+// profiler to count, in O(log n), how many cache lines were last accessed
+// within a given time window.  Each live line owns exactly one set slot (its
+// most recent access time), so the number of set slots in (t0, t) is exactly
+// the LRU stack distance of a line last touched at t0 and re-touched at t.
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int32, n+1)}
+}
+
+// add adds delta at position i (1-based).
+func (f *fenwick) add(i int, delta int32) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions 1..i.
+func (f *fenwick) prefix(i int) int64 {
+	var s int64
+	if i >= len(f.tree) {
+		i = len(f.tree) - 1
+	}
+	for ; i > 0; i -= i & (-i) {
+		s += int64(f.tree[i])
+	}
+	return s
+}
+
+// rangeSum returns the sum of positions lo..hi inclusive (1-based).
+func (f *fenwick) rangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,323 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/refs"
+	"cmpsched/internal/workload"
+)
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(16)
+	f.add(3, 1)
+	f.add(7, 1)
+	f.add(12, 1)
+	if f.prefix(2) != 0 || f.prefix(3) != 1 || f.prefix(16) != 3 {
+		t.Fatalf("prefix sums wrong")
+	}
+	if f.rangeSum(4, 12) != 2 || f.rangeSum(8, 6) != 0 {
+		t.Fatalf("rangeSum wrong")
+	}
+	f.add(7, -1)
+	if f.prefix(16) != 2 {
+		t.Fatalf("remove failed")
+	}
+	// Out-of-range prefix clamps.
+	if f.prefix(100) != 2 {
+		t.Fatalf("prefix clamp failed")
+	}
+}
+
+func TestFenwickPropertyMatchesNaive(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const n = 64
+		fw := newFenwick(n)
+		naive := make([]int32, n+1)
+		for _, op := range ops {
+			pos := int(op%n) + 1
+			if op%2 == 0 {
+				fw.add(pos, 1)
+				naive[pos]++
+			} else if naive[pos] > 0 {
+				fw.add(pos, -1)
+				naive[pos]--
+			}
+		}
+		var sum int64
+		for i := 1; i <= n; i++ {
+			sum += int64(naive[i])
+			if fw.prefix(i) != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{LineBytes: -1, CacheSizes: []int64{1024}}).Validate(); err == nil {
+		t.Fatalf("negative line accepted")
+	}
+	if err := (Config{LineBytes: 64}).Validate(); err == nil {
+		t.Fatalf("empty cache sizes accepted")
+	}
+	if err := (Config{LineBytes: 64, CacheSizes: []int64{32}}).Validate(); err == nil {
+		t.Fatalf("cache smaller than line accepted")
+	}
+	if err := (Config{LineBytes: 64, CacheSizes: []int64{1024, 1024}}).Validate(); err == nil {
+		t.Fatalf("non-ascending sizes accepted")
+	}
+	c := Config{}.withDefaults()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	if len(DefaultCacheSizes()) == 0 {
+		t.Fatalf("no default cache sizes")
+	}
+}
+
+// handDAG builds a 3-task DAG with a precisely known reference pattern.
+//
+//	task 0: A B C      (all cold)
+//	task 1: A D        (A reused at distance 3: B, C, D... actually B, C)
+//	task 2: B A        (B at distance 2 {D, A}; A at distance 1 {B})
+func handDAG() *dag.DAG {
+	mk := func(addrs ...uint64) refs.Gen {
+		rs := make([]refs.Ref, len(addrs))
+		for i, a := range addrs {
+			rs[i] = refs.Ref{Addr: a * 64, Instrs: 1}
+		}
+		return refs.NewPoints(rs, 0)
+	}
+	d := dag.New("hand")
+	d.AddTask("t0", mk(0, 1, 2)) // A B C
+	d.AddTask("t1", mk(0, 3))    // A D
+	d.AddTask("t2", mk(1, 0))    // B A
+	d.MustEdge(0, 1)
+	d.MustEdge(1, 2)
+	return d
+}
+
+func TestLruTreeHandTrace(t *testing.T) {
+	// Cache sizes: 2 lines (128 B) and 8 lines (512 B).
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{128, 512}}
+	pr, err := NewLruTree(cfg).ProfileDAG(handDAG())
+	if err != nil {
+		t.Fatalf("ProfileDAG: %v", err)
+	}
+	if pr.TotalRefs() != 7 || pr.NumTasks() != 3 {
+		t.Fatalf("profile totals wrong: %d refs", pr.TotalRefs())
+	}
+	if pr.TaskRefs(0) != 3 || pr.TaskRefs(1) != 2 || pr.TaskRefs(2) != 2 {
+		t.Fatalf("per-task refs wrong")
+	}
+
+	// Whole program, 8-line cache: everything except the 4 cold misses hits.
+	whole := pr.Group(0, 2)
+	if whole.Refs != 7 {
+		t.Fatalf("whole refs = %d", whole.Refs)
+	}
+	if whole.DistinctLines != 4 || whole.WorkingSetBytes != 4*64 {
+		t.Fatalf("whole working set = %d lines", whole.DistinctLines)
+	}
+	if whole.Hits[1] != 3 {
+		t.Fatalf("whole hits (large cache) = %d, want 3", whole.Hits[1])
+	}
+	// 2-line cache: A reused in task1 at stack distance 2 (B, C) -> miss;
+	// B reused in task2 at distance 3 (C, A, D) -> miss;
+	// A reused in task2 at distance 2 (D, B) -> miss.
+	if whole.Hits[0] != 0 {
+		t.Fatalf("whole hits (2-line cache) = %d, want 0", whole.Hits[0])
+	}
+	if whole.Misses(0) != 7 || whole.Misses(1) != 4 {
+		t.Fatalf("misses = %d / %d", whole.Misses(0), whole.Misses(1))
+	}
+
+	// Group = tasks 1..2 only: A's reuse in task 1 came from task 0
+	// (outside the group) so it is a first touch within the group.
+	sub := pr.Group(1, 2)
+	if sub.Refs != 4 {
+		t.Fatalf("sub refs = %d", sub.Refs)
+	}
+	// Distinct within group: A, D, B (A touched twice) = 3.
+	if sub.DistinctLines != 3 {
+		t.Fatalf("sub distinct = %d, want 3", sub.DistinctLines)
+	}
+	// Only A's reuse in task 2 has its previous visit inside the group
+	// (task 1's A): stack distance 2 (D, B), so it misses the 2-line
+	// cache and hits the 8-line cache. B's previous visit is task 0,
+	// outside the group, so it is a first touch here.
+	if sub.Hits[0] != 0 || sub.Hits[1] != 1 {
+		t.Fatalf("sub hits = %v, want [0 1]", sub.Hits)
+	}
+
+	// Single-task group: task 1 alone touches 2 distinct lines, no reuse.
+	one := pr.Group(1, 1)
+	if one.DistinctLines != 2 || one.Hits[1] != 0 {
+		t.Fatalf("single-task group stats wrong: %+v", one)
+	}
+
+	// Out-of-range queries clamp.
+	clamped := pr.Group(-5, 100)
+	if clamped.Refs != 7 {
+		t.Fatalf("clamped group refs = %d", clamped.Refs)
+	}
+	if empty := pr.Group(2, 1); empty.Refs != 0 {
+		t.Fatalf("empty range should have no refs")
+	}
+}
+
+func TestSetAssocHandTrace(t *testing.T) {
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{128, 512}}
+	sa := NewSetAssoc(cfg, 1024) // effectively fully associative
+	d := handDAG()
+	whole, err := sa.Group(d, 0, 2)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if whole.Refs != 7 || whole.DistinctLines != 4 {
+		t.Fatalf("setassoc whole = %+v", whole)
+	}
+	if whole.Hits[0] != 0 || whole.Hits[1] != 3 {
+		t.Fatalf("setassoc hits = %v", whole.Hits)
+	}
+	sub, err := sa.Group(d, 1, 2)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if sub.Hits[1] != 1 || sub.DistinctLines != 3 {
+		t.Fatalf("setassoc sub = %+v", sub)
+	}
+}
+
+// The central §6.1 cross-check: on a real benchmark's task-group tree, the
+// one-pass LruTree profiler computes the same hit counts and working sets as
+// the multi-pass fully-associative cache simulation, for every group and
+// every cache size.
+func TestLruTreeMatchesSetAssocOnMergesort(t *testing.T) {
+	ms := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 12, TaskWorkingSetBytes: 2 << 10})
+	d, tree, err := ms.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LineBytes: 128, CacheSizes: []int64{4 << 10, 16 << 10, 64 << 10}}
+	pr, err := NewLruTree(cfg).ProfileDAG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru := pr.AnnotateTree(tree)
+	// Associativity chosen so every simulated cache is fully associative
+	// (one set), making the stack-distance model exact.
+	sa, err := NewSetAssoc(cfg, 1<<20).AnnotateTree(d, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lru) != len(sa) || len(lru) == 0 {
+		t.Fatalf("annotation lengths differ: %d vs %d", len(lru), len(sa))
+	}
+	for id := range lru {
+		if lru[id].Refs != sa[id].Refs {
+			t.Fatalf("group %d refs differ: %d vs %d", id, lru[id].Refs, sa[id].Refs)
+		}
+		if lru[id].DistinctLines != sa[id].DistinctLines {
+			t.Fatalf("group %d working set differs: %d vs %d lines", id, lru[id].DistinctLines, sa[id].DistinctLines)
+		}
+		for s := range cfg.CacheSizes {
+			if lru[id].Hits[s] != sa[id].Hits[s] {
+				t.Fatalf("group %d cache %d hits differ: LruTree %d vs SetAssoc %d",
+					id, cfg.CacheSizes[s], lru[id].Hits[s], sa[id].Hits[s])
+			}
+		}
+	}
+}
+
+func TestWorkingSetsAreMonotoneUpTheTree(t *testing.T) {
+	ms := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 13, TaskWorkingSetBytes: 4 << 10})
+	d, tree, err := ms.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewLruTree(Config{LineBytes: 128, CacheSizes: []int64{16 << 10}}).ProfileDAG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := pr.AnnotateTree(tree)
+	for _, n := range tree.Nodes {
+		for _, c := range n.Children {
+			if stats[c.ID].WorkingSetBytes > stats[n.ID].WorkingSetBytes {
+				t.Fatalf("child group %q working set (%d) exceeds parent %q (%d)",
+					c.Name, stats[c.ID].WorkingSetBytes, n.Name, stats[n.ID].WorkingSetBytes)
+			}
+			if stats[c.ID].Refs > stats[n.ID].Refs {
+				t.Fatalf("child refs exceed parent refs")
+			}
+		}
+	}
+	// The root's working set must be about twice the sorted array (the
+	// two buffers), in lines.
+	total := int64(2 * (1 << 13) * 4)
+	root := stats[tree.Root.ID]
+	if root.WorkingSetBytes < total || root.WorkingSetBytes > total+total/4 {
+		t.Fatalf("root working set %d not near %d", root.WorkingSetBytes, total)
+	}
+}
+
+func TestMergesortTaskGroupWorkingSetsMatch2NRule(t *testing.T) {
+	// The paper's footnote: sorting a sub-array of size n uses 2n bytes.
+	ms := workload.NewMergesort(workload.MergesortConfig{Elements: 1 << 12, TaskWorkingSetBytes: 2 << 10})
+	d, tree, err := ms.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewLruTree(Config{LineBytes: 128, CacheSizes: []int64{64 << 10}}).ProfileDAG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := pr.AnnotateTree(tree)
+	checked := 0
+	for _, n := range tree.Nodes {
+		if n.Site != "mergesort.go:sort" || n.Param == 0 {
+			continue
+		}
+		ws := float64(stats[n.ID].WorkingSetBytes)
+		if ws < 0.8*n.Param || ws > 1.3*n.Param {
+			t.Fatalf("group %q measured working set %f not close to declared 2n=%f", n.Name, ws, n.Param)
+		}
+		checked++
+	}
+	if checked < 3 {
+		t.Fatalf("too few sort groups checked: %d", checked)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := NewLruTree(Config{LineBytes: -1, CacheSizes: []int64{1024}}).ProfileDAG(handDAG()); err == nil {
+		t.Fatalf("invalid config accepted")
+	}
+	if _, err := NewLruTree(Config{}).ProfileDAG(dag.New("empty")); err == nil {
+		t.Fatalf("empty DAG accepted")
+	}
+	if _, err := NewSetAssoc(Config{LineBytes: -1, CacheSizes: []int64{128}}, 4).Group(handDAG(), 0, 1); err == nil {
+		t.Fatalf("setassoc invalid config accepted")
+	}
+}
+
+func TestGroupOfNilAndEmptyNodes(t *testing.T) {
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{1024}}
+	pr, err := NewLruTree(cfg).ProfileDAG(handDAG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.GroupOf(nil); got.Refs != 0 {
+		t.Fatalf("nil node should have empty stats")
+	}
+	sa := NewSetAssoc(cfg, 8)
+	if got, err := sa.GroupOf(handDAG(), nil); err != nil || got.Refs != 0 {
+		t.Fatalf("nil node should have empty stats, err=%v", err)
+	}
+}

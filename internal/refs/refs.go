@@ -1,0 +1,509 @@
+// Package refs provides composable, deterministic memory-reference streams.
+//
+// A task in a computation DAG (package dag) carries a reference generator
+// describing the memory it touches and the instructions it retires between
+// references.  The CMP simulator (package cmpsim) replays these streams
+// through the modelled cache hierarchy, and the working-set profiler
+// (package profile) consumes the same streams to compute stack distances.
+//
+// References are expressed at whatever granularity the producer chooses; the
+// workload generators in this repository emit one reference per cache line
+// touched, which keeps traces compact while preserving miss behaviour.
+package refs
+
+// Ref is a single memory reference.
+type Ref struct {
+	// Addr is the byte address of the reference. Consumers map it to a
+	// cache line by masking with their line size.
+	Addr uint64
+	// Write reports whether the reference is a store.
+	Write bool
+	// Instrs is the number of instructions retired since the previous
+	// reference of the same stream (exclusive of the memory operation
+	// itself). The simulator charges these cycles before the access.
+	Instrs int64
+}
+
+// Gen is a resettable stream of memory references.
+//
+// Implementations are not safe for concurrent use; callers that replay a
+// stream several times must call Reset between iterations.
+type Gen interface {
+	// Len returns the total number of references the stream produces.
+	Len() int64
+	// Instrs returns the total number of instructions the stream retires,
+	// including instructions that follow the final reference.
+	Instrs() int64
+	// Reset rewinds the stream to its beginning.
+	Reset()
+	// Next returns the next reference. ok is false once the stream is
+	// exhausted.
+	Next() (r Ref, ok bool)
+}
+
+// rng is a splitmix64 pseudo-random number generator.  It is tiny, fast and
+// fully deterministic across platforms, which keeps traces reproducible.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be > 0.
+func (r *rng) intn(n uint64) uint64 {
+	// Multiply-shift reduction; bias is negligible for our trace sizes.
+	hi, _ := mul64(r.next(), n)
+	return hi
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Empty is a generator producing no references and no instructions.
+type Empty struct{}
+
+// Len implements Gen.
+func (Empty) Len() int64 { return 0 }
+
+// Instrs implements Gen.
+func (Empty) Instrs() int64 { return 0 }
+
+// Reset implements Gen.
+func (Empty) Reset() {}
+
+// Next implements Gen.
+func (Empty) Next() (Ref, bool) { return Ref{}, false }
+
+// Compute is a generator that retires instructions without touching memory.
+type Compute struct {
+	// N is the number of instructions retired.
+	N int64
+}
+
+// Len implements Gen.
+func (Compute) Len() int64 { return 0 }
+
+// Instrs implements Gen.
+func (c Compute) Instrs() int64 { return c.N }
+
+// Reset implements Gen.
+func (Compute) Reset() {}
+
+// Next implements Gen.
+func (Compute) Next() (Ref, bool) { return Ref{}, false }
+
+// Points replays an explicit list of references.  It is mostly useful in
+// tests and for hand-built micro traces.
+type Points struct {
+	Refs []Ref
+	// Tail is the number of instructions retired after the final
+	// reference.
+	Tail int64
+	pos  int
+}
+
+// NewPoints returns a Points generator over refs.
+func NewPoints(refs []Ref, tail int64) *Points { return &Points{Refs: refs, Tail: tail} }
+
+// Len implements Gen.
+func (p *Points) Len() int64 { return int64(len(p.Refs)) }
+
+// Instrs implements Gen.
+func (p *Points) Instrs() int64 {
+	total := p.Tail
+	for _, r := range p.Refs {
+		total += r.Instrs
+	}
+	return total
+}
+
+// Reset implements Gen.
+func (p *Points) Reset() { p.pos = 0 }
+
+// Next implements Gen.
+func (p *Points) Next() (Ref, bool) {
+	if p.pos >= len(p.Refs) {
+		return Ref{}, false
+	}
+	r := p.Refs[p.pos]
+	p.pos++
+	return r, true
+}
+
+// Scan walks a contiguous region sequentially, touching one address per
+// LineBytes, optionally several times.
+type Scan struct {
+	// Base is the starting byte address of the region.
+	Base uint64
+	// Bytes is the size of the region in bytes.
+	Bytes int64
+	// LineBytes is the distance between successive references; it is
+	// normally the cache-line size. Must be > 0.
+	LineBytes int64
+	// Write marks the references as stores.
+	Write bool
+	// InstrsPerRef is the number of instructions retired before each
+	// reference.
+	InstrsPerRef int64
+	// Passes is the number of complete passes over the region. Zero is
+	// treated as one pass.
+	Passes int
+
+	pos int64 // references emitted so far
+}
+
+// NewScan returns a single sequential read pass over [base, base+bytes).
+func NewScan(base uint64, bytes, lineBytes, instrsPerRef int64) *Scan {
+	return &Scan{Base: base, Bytes: bytes, LineBytes: lineBytes, InstrsPerRef: instrsPerRef, Passes: 1}
+}
+
+func (s *Scan) passes() int64 {
+	if s.Passes <= 0 {
+		return 1
+	}
+	return int64(s.Passes)
+}
+
+func (s *Scan) linesPerPass() int64 {
+	if s.LineBytes <= 0 || s.Bytes <= 0 {
+		return 0
+	}
+	return (s.Bytes + s.LineBytes - 1) / s.LineBytes
+}
+
+// Len implements Gen.
+func (s *Scan) Len() int64 { return s.linesPerPass() * s.passes() }
+
+// Instrs implements Gen.
+func (s *Scan) Instrs() int64 { return s.Len() * s.InstrsPerRef }
+
+// Reset implements Gen.
+func (s *Scan) Reset() { s.pos = 0 }
+
+// Next implements Gen.
+func (s *Scan) Next() (Ref, bool) {
+	if s.pos >= s.Len() {
+		return Ref{}, false
+	}
+	lines := s.linesPerPass()
+	idx := s.pos % lines
+	s.pos++
+	return Ref{
+		Addr:   s.Base + uint64(idx*s.LineBytes),
+		Write:  s.Write,
+		Instrs: s.InstrsPerRef,
+	}, true
+}
+
+// Strided emits Count references starting at Base with a fixed stride.
+type Strided struct {
+	Base         uint64
+	StrideBytes  int64
+	Count        int64
+	Write        bool
+	InstrsPerRef int64
+
+	pos int64
+}
+
+// Len implements Gen.
+func (s *Strided) Len() int64 { return s.Count }
+
+// Instrs implements Gen.
+func (s *Strided) Instrs() int64 { return s.Count * s.InstrsPerRef }
+
+// Reset implements Gen.
+func (s *Strided) Reset() { s.pos = 0 }
+
+// Next implements Gen.
+func (s *Strided) Next() (Ref, bool) {
+	if s.pos >= s.Count {
+		return Ref{}, false
+	}
+	r := Ref{
+		Addr:   s.Base + uint64(s.pos*s.StrideBytes),
+		Write:  s.Write,
+		Instrs: s.InstrsPerRef,
+	}
+	s.pos++
+	return r, true
+}
+
+// Random emits Count references uniformly distributed over a region, aligned
+// to LineBytes. The sequence is a deterministic function of Seed.
+type Random struct {
+	Base         uint64
+	Bytes        int64
+	LineBytes    int64
+	Count        int64
+	Seed         uint64
+	Write        bool
+	InstrsPerRef int64
+
+	pos int64
+	r   *rng
+}
+
+// Len implements Gen.
+func (g *Random) Len() int64 { return g.Count }
+
+// Instrs implements Gen.
+func (g *Random) Instrs() int64 { return g.Count * g.InstrsPerRef }
+
+// Reset implements Gen.
+func (g *Random) Reset() {
+	g.pos = 0
+	g.r = nil
+}
+
+func (g *Random) lines() uint64 {
+	lb := g.LineBytes
+	if lb <= 0 {
+		lb = 64
+	}
+	n := g.Bytes / lb
+	if n <= 0 {
+		n = 1
+	}
+	return uint64(n)
+}
+
+// Next implements Gen.
+func (g *Random) Next() (Ref, bool) {
+	if g.pos >= g.Count {
+		return Ref{}, false
+	}
+	if g.r == nil {
+		g.r = newRNG(g.Seed)
+	}
+	lb := g.LineBytes
+	if lb <= 0 {
+		lb = 64
+	}
+	line := g.r.intn(g.lines())
+	g.pos++
+	return Ref{
+		Addr:   g.Base + line*uint64(lb),
+		Write:  g.Write,
+		Instrs: g.InstrsPerRef,
+	}, true
+}
+
+// Concat runs a sequence of generators back to back.
+type Concat struct {
+	gens []Gen
+	idx  int
+}
+
+// NewConcat returns a generator replaying gens in order. Nil entries are
+// skipped.
+func NewConcat(gens ...Gen) *Concat {
+	out := make([]Gen, 0, len(gens))
+	for _, g := range gens {
+		if g != nil {
+			out = append(out, g)
+		}
+	}
+	return &Concat{gens: out}
+}
+
+// Append adds more generators to the end of the sequence.
+func (c *Concat) Append(gens ...Gen) {
+	for _, g := range gens {
+		if g != nil {
+			c.gens = append(c.gens, g)
+		}
+	}
+}
+
+// Len implements Gen.
+func (c *Concat) Len() int64 {
+	var total int64
+	for _, g := range c.gens {
+		total += g.Len()
+	}
+	return total
+}
+
+// Instrs implements Gen.
+func (c *Concat) Instrs() int64 {
+	var total int64
+	for _, g := range c.gens {
+		total += g.Instrs()
+	}
+	return total
+}
+
+// Reset implements Gen.
+func (c *Concat) Reset() {
+	c.idx = 0
+	for _, g := range c.gens {
+		g.Reset()
+	}
+}
+
+// Next implements Gen.
+func (c *Concat) Next() (Ref, bool) {
+	for c.idx < len(c.gens) {
+		if r, ok := c.gens[c.idx].Next(); ok {
+			return r, true
+		}
+		c.idx++
+	}
+	return Ref{}, false
+}
+
+// Interleave alternates references from two generators (a, b, a, b, ...)
+// until both are exhausted.  It models loops that touch two structures per
+// iteration, such as a probe that reads an input record and then a hash
+// bucket.
+type Interleave struct {
+	A, B Gen
+	turn int
+}
+
+// NewInterleave returns an interleaving of a and b.
+func NewInterleave(a, b Gen) *Interleave { return &Interleave{A: a, B: b} }
+
+// Len implements Gen.
+func (i *Interleave) Len() int64 { return i.A.Len() + i.B.Len() }
+
+// Instrs implements Gen.
+func (i *Interleave) Instrs() int64 { return i.A.Instrs() + i.B.Instrs() }
+
+// Reset implements Gen.
+func (i *Interleave) Reset() {
+	i.turn = 0
+	i.A.Reset()
+	i.B.Reset()
+}
+
+// Next implements Gen.
+func (i *Interleave) Next() (Ref, bool) {
+	first, second := i.A, i.B
+	if i.turn == 1 {
+		first, second = i.B, i.A
+	}
+	i.turn = 1 - i.turn
+	if r, ok := first.Next(); ok {
+		return r, true
+	}
+	return second.Next()
+}
+
+// Repeat replays an inner generator a fixed number of times, resetting it
+// between rounds.
+type Repeat struct {
+	G     Gen
+	Times int
+	round int
+}
+
+// NewRepeat returns a generator that replays g `times` times.
+func NewRepeat(g Gen, times int) *Repeat { return &Repeat{G: g, Times: times} }
+
+// Len implements Gen.
+func (r *Repeat) Len() int64 { return r.G.Len() * int64(max64(0, int64(r.Times))) }
+
+// Instrs implements Gen.
+func (r *Repeat) Instrs() int64 { return r.G.Instrs() * int64(max64(0, int64(r.Times))) }
+
+// Reset implements Gen.
+func (r *Repeat) Reset() {
+	r.round = 0
+	r.G.Reset()
+}
+
+// Next implements Gen.
+func (r *Repeat) Next() (Ref, bool) {
+	for r.round < r.Times {
+		if ref, ok := r.G.Next(); ok {
+			return ref, true
+		}
+		r.round++
+		if r.round < r.Times {
+			r.G.Reset()
+		}
+	}
+	return Ref{}, false
+}
+
+// WithTail wraps a generator and adds trailing instructions after the last
+// reference, e.g. loop epilogues or result combination code.
+type WithTail struct {
+	G    Gen
+	Tail int64
+}
+
+// NewWithTail wraps g with tail trailing instructions.
+func NewWithTail(g Gen, tail int64) *WithTail { return &WithTail{G: g, Tail: tail} }
+
+// Len implements Gen.
+func (w *WithTail) Len() int64 { return w.G.Len() }
+
+// Instrs implements Gen.
+func (w *WithTail) Instrs() int64 { return w.G.Instrs() + w.Tail }
+
+// Reset implements Gen.
+func (w *WithTail) Reset() { w.G.Reset() }
+
+// Next implements Gen.
+func (w *WithTail) Next() (Ref, bool) { return w.G.Next() }
+
+// Collect drains g and returns all of its references.  The generator is
+// Reset before and after collection.  Intended for tests and the profiler's
+// trace writer; not for very long streams.
+func Collect(g Gen) []Ref {
+	g.Reset()
+	out := make([]Ref, 0, g.Len())
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	g.Reset()
+	return out
+}
+
+// Count drains g counting references and instructions; it Resets g before
+// and after.
+func Count(g Gen) (refCount, instrs int64) {
+	g.Reset()
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		refCount++
+		instrs += r.Instrs
+	}
+	g.Reset()
+	return refCount, instrs
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

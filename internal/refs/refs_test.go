@@ -1,0 +1,356 @@
+package refs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func drain(t *testing.T, g Gen) []Ref {
+	t.Helper()
+	var out []Ref
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+		if len(out) > 1<<22 {
+			t.Fatalf("generator did not terminate")
+		}
+	}
+	return out
+}
+
+func TestEmpty(t *testing.T) {
+	var g Empty
+	if g.Len() != 0 || g.Instrs() != 0 {
+		t.Fatalf("Empty should have no refs or instrs")
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatalf("Empty.Next returned a ref")
+	}
+}
+
+func TestCompute(t *testing.T) {
+	g := Compute{N: 123}
+	if g.Len() != 0 {
+		t.Fatalf("Compute.Len = %d, want 0", g.Len())
+	}
+	if g.Instrs() != 123 {
+		t.Fatalf("Compute.Instrs = %d, want 123", g.Instrs())
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatalf("Compute.Next returned a ref")
+	}
+}
+
+func TestPoints(t *testing.T) {
+	rs := []Ref{{Addr: 0, Instrs: 2}, {Addr: 64, Write: true, Instrs: 3}}
+	g := NewPoints(rs, 5)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if g.Instrs() != 10 {
+		t.Fatalf("Instrs = %d, want 10", g.Instrs())
+	}
+	got := drain(t, g)
+	if len(got) != 2 || got[1].Addr != 64 || !got[1].Write {
+		t.Fatalf("unexpected refs %+v", got)
+	}
+	// After Reset the stream replays identically.
+	g.Reset()
+	got2 := drain(t, g)
+	if len(got2) != len(got) {
+		t.Fatalf("replay length %d, want %d", len(got2), len(got))
+	}
+}
+
+func TestScanAddressesAndCounts(t *testing.T) {
+	g := &Scan{Base: 1 << 20, Bytes: 1024, LineBytes: 128, InstrsPerRef: 4, Passes: 1}
+	if g.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", g.Len())
+	}
+	if g.Instrs() != 32 {
+		t.Fatalf("Instrs = %d, want 32", g.Instrs())
+	}
+	rs := drain(t, g)
+	if len(rs) != 8 {
+		t.Fatalf("drained %d refs, want 8", len(rs))
+	}
+	for i, r := range rs {
+		want := uint64(1<<20 + i*128)
+		if r.Addr != want {
+			t.Fatalf("ref %d addr=%d, want %d", i, r.Addr, want)
+		}
+		if r.Instrs != 4 {
+			t.Fatalf("ref %d instrs=%d, want 4", i, r.Instrs)
+		}
+	}
+}
+
+func TestScanMultiplePasses(t *testing.T) {
+	g := &Scan{Base: 0, Bytes: 256, LineBytes: 64, Passes: 3}
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", g.Len())
+	}
+	rs := drain(t, g)
+	if len(rs) != 12 {
+		t.Fatalf("drained %d, want 12", len(rs))
+	}
+	// The second pass revisits the same addresses.
+	if rs[0].Addr != rs[4].Addr || rs[3].Addr != rs[7].Addr {
+		t.Fatalf("passes do not revisit addresses: %+v", rs)
+	}
+}
+
+func TestScanRoundsUpPartialLine(t *testing.T) {
+	g := &Scan{Base: 0, Bytes: 100, LineBytes: 64, Passes: 1}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (100 bytes spans 2 lines)", g.Len())
+	}
+}
+
+func TestScanZeroPassesTreatedAsOne(t *testing.T) {
+	g := &Scan{Base: 0, Bytes: 128, LineBytes: 64}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestStrided(t *testing.T) {
+	g := &Strided{Base: 1000, StrideBytes: 256, Count: 4, InstrsPerRef: 7, Write: true}
+	rs := drain(t, g)
+	if len(rs) != 4 {
+		t.Fatalf("drained %d, want 4", len(rs))
+	}
+	for i, r := range rs {
+		if r.Addr != uint64(1000+256*i) {
+			t.Fatalf("ref %d addr=%d", i, r.Addr)
+		}
+		if !r.Write {
+			t.Fatalf("ref %d should be a write", i)
+		}
+	}
+	if g.Instrs() != 28 {
+		t.Fatalf("Instrs = %d, want 28", g.Instrs())
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	mk := func() *Random {
+		return &Random{Base: 4096, Bytes: 8192, LineBytes: 64, Count: 200, Seed: 42, InstrsPerRef: 3}
+	}
+	a := drain(t, mk())
+	b := drain(t, mk())
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d, %d, want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ref %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Addr < 4096 || a[i].Addr >= 4096+8192 {
+			t.Fatalf("ref %d addr %d outside region", i, a[i].Addr)
+		}
+		if a[i].Addr%64 != 0 {
+			t.Fatalf("ref %d addr %d not line aligned", i, a[i].Addr)
+		}
+	}
+}
+
+func TestRandomDifferentSeedsDiffer(t *testing.T) {
+	a := drain(t, &Random{Bytes: 1 << 20, LineBytes: 64, Count: 64, Seed: 1})
+	b := drain(t, &Random{Bytes: 1 << 20, LineBytes: 64, Count: 64, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].Addr == b[i].Addr {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("different seeds produced identical streams")
+	}
+}
+
+func TestRandomResetReplays(t *testing.T) {
+	g := &Random{Bytes: 1 << 16, LineBytes: 64, Count: 50, Seed: 7}
+	a := drain(t, g)
+	g.Reset()
+	b := drain(t, g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reset replay differs at %d", i)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := &Scan{Base: 0, Bytes: 128, LineBytes: 64, InstrsPerRef: 1}
+	b := &Scan{Base: 1024, Bytes: 128, LineBytes: 64, InstrsPerRef: 2}
+	g := NewConcat(a, nil, b)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	if g.Instrs() != 2+4 {
+		t.Fatalf("Instrs = %d, want 6", g.Instrs())
+	}
+	rs := drain(t, g)
+	if rs[0].Addr != 0 || rs[2].Addr != 1024 {
+		t.Fatalf("unexpected order %+v", rs)
+	}
+	g.Reset()
+	if again := drain(t, g); len(again) != 4 {
+		t.Fatalf("reset drain %d, want 4", len(again))
+	}
+}
+
+func TestConcatAppend(t *testing.T) {
+	g := NewConcat()
+	g.Append(&Strided{Base: 0, StrideBytes: 64, Count: 2})
+	g.Append(nil, &Strided{Base: 512, StrideBytes: 64, Count: 3})
+	if g.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", g.Len())
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	a := &Strided{Base: 0, StrideBytes: 64, Count: 3, InstrsPerRef: 1}
+	b := &Strided{Base: 1 << 20, StrideBytes: 64, Count: 2, InstrsPerRef: 1}
+	g := NewInterleave(a, b)
+	rs := drain(t, g)
+	if len(rs) != 5 {
+		t.Fatalf("drained %d, want 5", len(rs))
+	}
+	// Pattern a b a b a.
+	wantHigh := []bool{false, true, false, true, false}
+	for i, r := range rs {
+		high := r.Addr >= 1<<20
+		if high != wantHigh[i] {
+			t.Fatalf("position %d from wrong stream (addr=%d)", i, r.Addr)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	inner := &Strided{Base: 0, StrideBytes: 64, Count: 3, InstrsPerRef: 2}
+	g := NewRepeat(inner, 4)
+	if g.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", g.Len())
+	}
+	if g.Instrs() != 24 {
+		t.Fatalf("Instrs = %d, want 24", g.Instrs())
+	}
+	rs := drain(t, g)
+	if len(rs) != 12 {
+		t.Fatalf("drained %d, want 12", len(rs))
+	}
+	if rs[0].Addr != rs[3].Addr {
+		t.Fatalf("repeat rounds do not revisit addresses")
+	}
+	g.Reset()
+	if len(drain(t, g)) != 12 {
+		t.Fatalf("reset drain mismatch")
+	}
+}
+
+func TestWithTail(t *testing.T) {
+	inner := &Strided{Base: 0, StrideBytes: 64, Count: 2, InstrsPerRef: 5}
+	g := NewWithTail(inner, 100)
+	if g.Instrs() != 110 {
+		t.Fatalf("Instrs = %d, want 110", g.Instrs())
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestCollectAndCount(t *testing.T) {
+	g := &Scan{Base: 0, Bytes: 512, LineBytes: 64, InstrsPerRef: 3}
+	rs := Collect(g)
+	if len(rs) != 8 {
+		t.Fatalf("Collect returned %d refs, want 8", len(rs))
+	}
+	n, instrs := Count(g)
+	if n != 8 || instrs != 24 {
+		t.Fatalf("Count = (%d, %d), want (8, 24)", n, instrs)
+	}
+	// Collect/Count must leave the generator usable.
+	if len(drain(t, g)) != 8 {
+		t.Fatalf("generator not reset after Collect/Count")
+	}
+}
+
+// Property: for every generator construction, the number of refs drained
+// equals Len() and the drained instruction total never exceeds Instrs().
+func TestPropertyLenMatchesDrain(t *testing.T) {
+	f := func(baseSeed uint64, nSmall uint8, stride uint8, passes uint8) bool {
+		n := int64(nSmall%64) + 1
+		st := int64(stride%8+1) * 64
+		p := int(passes%3) + 1
+		gens := []Gen{
+			&Scan{Base: baseSeed % (1 << 30), Bytes: n * 64, LineBytes: 64, InstrsPerRef: 2, Passes: p},
+			&Strided{Base: baseSeed % (1 << 30), StrideBytes: st, Count: n, InstrsPerRef: 1},
+			&Random{Base: baseSeed % (1 << 30), Bytes: n * 256, LineBytes: 64, Count: n, Seed: baseSeed},
+		}
+		all := NewConcat(gens...)
+		var count, instrs int64
+		all.Reset()
+		for {
+			r, ok := all.Next()
+			if !ok {
+				break
+			}
+			count++
+			instrs += r.Instrs
+		}
+		return count == all.Len() && instrs <= all.Instrs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reset always replays an identical stream.
+func TestPropertyResetReplay(t *testing.T) {
+	f := func(seed uint64, count uint8) bool {
+		g := NewConcat(
+			&Random{Bytes: 1 << 18, LineBytes: 64, Count: int64(count%50) + 1, Seed: seed},
+			&Scan{Base: 1 << 20, Bytes: int64(count%20+1) * 64, LineBytes: 64},
+		)
+		a := Collect(g)
+		b := Collect(g)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("mul64(2^32,2^32) = (%d,%d), want (1,0)", hi, lo)
+	}
+	hi, lo = mul64(0xffffffffffffffff, 2)
+	if hi != 1 || lo != 0xfffffffffffffffe {
+		t.Fatalf("mul64 overflow case wrong: (%d,%d)", hi, lo)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := newRNG(99)
+	for i := 0; i < 1000; i++ {
+		v := r.intn(17)
+		if v >= 17 {
+			t.Fatalf("intn(17) produced %d", v)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package sched implements the greedy thread schedulers compared in the
+// paper: Work Stealing (WS) and Parallel Depth First (PDF), plus a central
+// FIFO queue used as an ablation baseline.
+//
+// The schedulers are driven by the CMP simulator (package cmpsim) through a
+// small event interface: the simulator announces tasks that became ready
+// (MakeReady) and asks for work on behalf of idle cores (Next).  Both
+// schedulers are greedy: a ready task is only left unscheduled when every
+// core is busy.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"cmpsched/internal/dag"
+)
+
+// Scheduler decides which ready task each idle core runs next.
+//
+// Implementations are deterministic and not safe for concurrent use; the
+// simulator invokes them from a single goroutine.
+type Scheduler interface {
+	// Name returns a short identifier such as "pdf" or "ws".
+	Name() string
+	// Reset prepares the scheduler for a run of d on p cores, discarding
+	// any state from previous runs.
+	Reset(d *dag.DAG, p int)
+	// MakeReady announces tasks that became ready when a task completed
+	// on the given core. core is -1 for the DAG's initial roots. Tasks
+	// are announced in increasing sequential order.
+	MakeReady(core int, tasks []dag.TaskID)
+	// Next returns the task the given idle core should run, or ok=false
+	// when the scheduler has no work for it.
+	Next(core int) (id dag.TaskID, ok bool)
+	// Pending returns the number of ready tasks not yet handed out.
+	Pending() int
+	// Metrics returns scheduler-specific counters (e.g. steals).
+	Metrics() map[string]int64
+}
+
+// New constructs a scheduler by name: "pdf", "ws" or "fifo".
+func New(name string) (Scheduler, error) {
+	switch name {
+	case "pdf", "PDF":
+		return NewPDF(), nil
+	case "ws", "WS":
+		return NewWS(), nil
+	case "fifo", "FIFO":
+		return NewFIFO(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q (want pdf, ws or fifo)", name)
+	}
+}
+
+// Names lists the available scheduler names.
+func Names() []string { return []string{"pdf", "ws", "fifo"} }
+
+// ---------------------------------------------------------------------------
+// Parallel Depth First (PDF)
+// ---------------------------------------------------------------------------
+
+// PDF is the Parallel Depth First scheduler [Blelloch, Gibbons & Matias;
+// Blelloch & Gibbons SPAA'04].  When a core completes a task it is assigned
+// the ready task that the sequential program would have executed earliest,
+// so concurrently scheduled tasks track the sequential schedule and share
+// its working set.
+type PDF struct {
+	d        *dag.DAG
+	ready    seqHeap
+	assigned int64
+}
+
+// NewPDF returns a PDF scheduler.
+func NewPDF() *PDF { return &PDF{} }
+
+// Name implements Scheduler.
+func (*PDF) Name() string { return "pdf" }
+
+// Reset implements Scheduler.
+func (p *PDF) Reset(d *dag.DAG, cores int) {
+	p.d = d
+	p.ready = p.ready[:0]
+	p.assigned = 0
+}
+
+// MakeReady implements Scheduler.
+func (p *PDF) MakeReady(core int, tasks []dag.TaskID) {
+	for _, id := range tasks {
+		heap.Push(&p.ready, seqItem{id: id, seq: p.d.Task(id).Seq})
+	}
+}
+
+// Next implements Scheduler.
+func (p *PDF) Next(core int) (dag.TaskID, bool) {
+	if p.ready.Len() == 0 {
+		return dag.None, false
+	}
+	item := heap.Pop(&p.ready).(seqItem)
+	p.assigned++
+	return item.id, true
+}
+
+// Pending implements Scheduler.
+func (p *PDF) Pending() int { return p.ready.Len() }
+
+// Metrics implements Scheduler.
+func (p *PDF) Metrics() map[string]int64 {
+	return map[string]int64{"assigned": p.assigned}
+}
+
+type seqItem struct {
+	id  dag.TaskID
+	seq int
+}
+
+// seqHeap is a min-heap of ready tasks ordered by sequential position.
+type seqHeap []seqItem
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(seqItem)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// ---------------------------------------------------------------------------
+// Work Stealing (WS)
+// ---------------------------------------------------------------------------
+
+// WS is the Work Stealing scheduler [Blumofe & Leiserson].  Each core owns a
+// double-ended work queue: tasks forked by work running on the core are
+// pushed on top of its local deque, the core pops from the top (LIFO, good
+// locality), and an idle core steals from the bottom (the oldest work) of
+// the first non-empty deque it finds scanning the other cores.
+type WS struct {
+	d      *dag.DAG
+	deques []deque
+	cores  int
+	steals int64
+	local  int64
+}
+
+// NewWS returns a Work Stealing scheduler.
+func NewWS() *WS { return &WS{} }
+
+// Name implements Scheduler.
+func (*WS) Name() string { return "ws" }
+
+// Reset implements Scheduler.
+func (w *WS) Reset(d *dag.DAG, cores int) {
+	w.d = d
+	w.cores = cores
+	w.deques = make([]deque, cores)
+	w.steals = 0
+	w.local = 0
+}
+
+// MakeReady implements Scheduler.
+//
+// Tasks enabled by a completion on core c are pushed onto c's deque in
+// sequential order, so the most recently forked work sits on top (run next
+// locally) and the earliest forked work sits at the bottom (stolen first),
+// matching the classic work-first deque discipline. Initial roots (core -1)
+// are seeded onto core 0, where the sequential program would begin.
+func (w *WS) MakeReady(core int, tasks []dag.TaskID) {
+	if core < 0 {
+		core = 0
+	}
+	if core >= w.cores {
+		core = core % w.cores
+	}
+	for _, id := range tasks {
+		w.deques[core].pushTop(id)
+	}
+}
+
+// Next implements Scheduler.
+func (w *WS) Next(core int) (dag.TaskID, bool) {
+	if core < 0 || core >= w.cores {
+		return dag.None, false
+	}
+	if id, ok := w.deques[core].popTop(); ok {
+		w.local++
+		return id, true
+	}
+	// Steal from the bottom of the first non-empty deque, scanning the
+	// other cores deterministically starting after the thief.
+	for i := 1; i < w.cores; i++ {
+		victim := (core + i) % w.cores
+		if id, ok := w.deques[victim].popBottom(); ok {
+			w.steals++
+			return id, true
+		}
+	}
+	return dag.None, false
+}
+
+// Pending implements Scheduler.
+func (w *WS) Pending() int {
+	total := 0
+	for i := range w.deques {
+		total += w.deques[i].len()
+	}
+	return total
+}
+
+// Metrics implements Scheduler.
+func (w *WS) Metrics() map[string]int64 {
+	return map[string]int64{"steals": w.steals, "local": w.local}
+}
+
+// Steals returns the number of successful steals in the last run.
+func (w *WS) Steals() int64 { return w.steals }
+
+// deque is a simple double-ended queue of task IDs.
+type deque struct {
+	items []dag.TaskID
+}
+
+func (q *deque) len() int { return len(q.items) }
+
+func (q *deque) pushTop(id dag.TaskID) { q.items = append(q.items, id) }
+
+func (q *deque) popTop() (dag.TaskID, bool) {
+	if len(q.items) == 0 {
+		return dag.None, false
+	}
+	id := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return id, true
+}
+
+func (q *deque) popBottom() (dag.TaskID, bool) {
+	if len(q.items) == 0 {
+		return dag.None, false
+	}
+	id := q.items[0]
+	q.items = q.items[1:]
+	return id, true
+}
+
+// ---------------------------------------------------------------------------
+// Central FIFO (ablation baseline)
+// ---------------------------------------------------------------------------
+
+// FIFO is a central first-come-first-served ready queue.  It is not part of
+// the paper's comparison; it exists as an ablation point between WS
+// (per-core LIFO with stealing) and PDF (global sequential priority).
+type FIFO struct {
+	queue    []dag.TaskID
+	assigned int64
+}
+
+// NewFIFO returns a central-queue scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Scheduler.
+func (*FIFO) Name() string { return "fifo" }
+
+// Reset implements Scheduler.
+func (f *FIFO) Reset(d *dag.DAG, cores int) {
+	f.queue = f.queue[:0]
+	f.assigned = 0
+}
+
+// MakeReady implements Scheduler.
+func (f *FIFO) MakeReady(core int, tasks []dag.TaskID) {
+	f.queue = append(f.queue, tasks...)
+}
+
+// Next implements Scheduler.
+func (f *FIFO) Next(core int) (dag.TaskID, bool) {
+	if len(f.queue) == 0 {
+		return dag.None, false
+	}
+	id := f.queue[0]
+	f.queue = f.queue[1:]
+	f.assigned++
+	return id, true
+}
+
+// Pending implements Scheduler.
+func (f *FIFO) Pending() int { return len(f.queue) }
+
+// Metrics implements Scheduler.
+func (f *FIFO) Metrics() map[string]int64 {
+	return map[string]int64{"assigned": f.assigned}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRatioSpeedupPercent(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatalf("Ratio wrong")
+	}
+	if Speedup(100, 50) != 2 || Speedup(100, 0) != 0 {
+		t.Fatalf("Speedup wrong")
+	}
+	if PercentChange(10, 15) != 50 || PercentChange(0, 5) != 0 {
+		t.Fatalf("PercentChange wrong")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	xs := []float64{4, 2, 8}
+	if Min(xs) != 2 || Max(xs) != 8 {
+		t.Fatalf("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatalf("empty Min/Max should be 0")
+	}
+	norm := Normalize(xs)
+	if len(norm) != 3 || norm[1] != 1 || norm[0] != 2 || norm[2] != 4 {
+		t.Fatalf("Normalize = %v", norm)
+	}
+	if Normalize(nil) != nil || Normalize([]float64{0, 1}) != nil {
+		t.Fatalf("Normalize edge cases wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean = %f", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatalf("GeoMean edge cases wrong")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	tab.AddRow("gamma") // missing cell
+	tab.AddRow("delta", "4", "extra dropped")
+	if tab.NumRows() != 4 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header + separator + 4 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// All lines aligned: same column start for the second column.
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+}

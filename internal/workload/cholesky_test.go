@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/config"
+	"cmpsched/internal/sched"
+)
+
+func TestCholeskyStructure(t *testing.T) {
+	ch := NewCholesky(CholeskyConfig{N: 128, BlockElems: 32})
+	d, _ := checkWorkload(t, ch)
+	nb := int64(4)
+	var potrf, trsm, update int64
+	for _, task := range d.Tasks() {
+		switch {
+		case strings.HasPrefix(task.Name, "potrf"):
+			potrf++
+		case strings.HasPrefix(task.Name, "trsm"):
+			trsm++
+		case strings.HasPrefix(task.Name, "syrk"), strings.HasPrefix(task.Name, "gemm"):
+			update++
+		}
+	}
+	if potrf != nb {
+		t.Fatalf("potrf tasks = %d, want %d", potrf, nb)
+	}
+	var wantTrsm, wantUpdate int64
+	for k := int64(0); k < nb; k++ {
+		m := nb - k - 1
+		wantTrsm += m
+		wantUpdate += m * (m + 1) / 2
+	}
+	if trsm != wantTrsm || update != wantUpdate {
+		t.Fatalf("trsm=%d (want %d) update=%d (want %d)", trsm, wantTrsm, update, wantUpdate)
+	}
+}
+
+func TestCholeskyRejectsBadConfig(t *testing.T) {
+	if _, _, err := NewCholesky(CholeskyConfig{N: 100, BlockElems: 32}).Build(); err == nil {
+		t.Fatalf("non-multiple N accepted")
+	}
+	if _, _, err := NewCholesky(CholeskyConfig{N: -1, BlockElems: 8}).Build(); err == nil {
+		t.Fatalf("negative N accepted")
+	}
+}
+
+// Cholesky belongs to the small-working-set class: PDF and WS should perform
+// within a few percent of each other (§5.5), unlike Hash Join or Mergesort.
+func TestCholeskyPDFandWSPerformAlike(t *testing.T) {
+	cfg := config.MustDefault(8).Scaled(config.DefaultScale * 8)
+	build := func() *Cholesky { return NewCholesky(CholeskyConfig{N: 256, BlockElems: 32}) }
+	d1, _, err := build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdf, err := cmpsim.Run(d1, sched.NewPDF(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := build().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := cmpsim.Run(d2, sched.NewWS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(ws.Cycles) / float64(pdf.Cycles)
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Fatalf("Cholesky PDF/WS ratio %.3f; expected the schedulers to perform alike", ratio)
+	}
+}
+
+func TestNewByNameIncludesCholesky(t *testing.T) {
+	w, err := New("cholesky")
+	if err != nil || w.Name() != "cholesky" {
+		t.Fatalf("New(cholesky) = %v, %v", w, err)
+	}
+}

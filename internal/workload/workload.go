@@ -1,0 +1,119 @@
+// Package workload generates the benchmark computation DAGs studied in the
+// paper as synthetic DAG + memory-reference models: Mergesort, Hash Join and
+// LU (the three benchmarks analysed in detail in §5), plus Matrix Multiply,
+// Quicksort and a Heat stencil from the broader benchmark suite (§5.5).
+//
+// Each workload builds (a) a computation DAG whose tasks carry reference
+// streams modelling the data structures and access patterns of the original
+// program, and (b) a task-group tree describing the natural hierarchical
+// grouping of tasks (used by the working-set profiler and the automatic
+// task-coarsening pass).
+//
+// The generators take the place of the paper's binary instrumentation and
+// trace collection: the schedulers and the cache simulator only ever observe
+// the DAG and the reference streams, so generating those streams directly
+// from the algorithms preserves the behaviour being measured while keeping
+// the repository self-contained (see DESIGN.md, "Substitutions").
+package workload
+
+import (
+	"fmt"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/taskgroup"
+)
+
+// Workload builds a benchmark instance.
+type Workload interface {
+	// Name returns the benchmark name, e.g. "mergesort".
+	Name() string
+	// Build generates the computation DAG and its task-group tree. The
+	// tree may be nil for workloads without a meaningful hierarchy.
+	Build() (*dag.DAG, *taskgroup.Tree, error)
+}
+
+// Default address-space bases for the synthetic data structures, spaced far
+// apart so regions never alias.
+const (
+	baseArrayA    uint64 = 0x1_0000_0000
+	baseArrayB    uint64 = 0x2_0000_0000
+	baseBuild     uint64 = 0x3_0000_0000
+	baseProbe     uint64 = 0x4_0000_0000
+	baseHash      uint64 = 0x5_0000_0000
+	baseOutput    uint64 = 0x6_0000_0000
+	baseMatrixA   uint64 = 0x7_0000_0000
+	baseMatrixB   uint64 = 0x8_0000_0000
+	baseMatrixC   uint64 = 0x9_0000_0000
+	baseGridA     uint64 = 0xA_0000_0000
+	baseGridB     uint64 = 0xB_0000_0000
+	baseQuicksort uint64 = 0xC_0000_0000
+)
+
+// DefaultLineBytes is the cache-line granularity at which reference streams
+// are emitted; it matches Table 1's 128-byte lines.
+const DefaultLineBytes int64 = 128
+
+// New constructs a workload by name with its default (scaled) parameters.
+// Recognised names: mergesort, hashjoin, lu, matmul, cholesky, quicksort,
+// heat.
+func New(name string) (Workload, error) {
+	switch name {
+	case "mergesort":
+		return NewMergesort(MergesortConfig{}), nil
+	case "hashjoin":
+		return NewHashJoin(HashJoinConfig{}), nil
+	case "lu":
+		return NewLU(LUConfig{}), nil
+	case "matmul":
+		return NewMatMul(MatMulConfig{}), nil
+	case "cholesky":
+		return NewCholesky(CholeskyConfig{}), nil
+	case "quicksort":
+		return NewQuicksort(QuicksortConfig{}), nil
+	case "heat":
+		return NewHeat(HeatConfig{}), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", name, Names())
+	}
+}
+
+// Names lists the available workloads.
+func Names() []string {
+	return []string{"mergesort", "hashjoin", "lu", "matmul", "cholesky", "quicksort", "heat"}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// log2Ceil returns ceil(log2(n)) for n >= 1.
+func log2Ceil(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	var l int64
+	v := int64(1)
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
