@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet bench-quick ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full benchmark suite at quick scale: one iteration per benchmark so
+# the figure benchmarks, the sweep-engine serial/parallel/cached trio and
+# the simulator micro-benchmarks all report without taking minutes.
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet test
+
+clean:
+	$(GO) clean ./...

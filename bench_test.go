@@ -1,11 +1,13 @@
 package cmpsched
 
 import (
+	"runtime"
 	"testing"
 
 	"cmpsched/internal/experiments"
 	"cmpsched/internal/profile"
 	"cmpsched/internal/sched"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 
 	"cmpsched/internal/cmpsim"
@@ -101,6 +103,54 @@ func BenchmarkGranularityCoarseVsFine(b *testing.B) {
 		}
 		b.ReportMetric(res.Row("mergesort", "pdf").Speedup(), "mergesort-fine/coarse")
 	}
+}
+
+// Sweep-engine benchmarks: the same quick multi-figure run executed
+// serially (workers=1), in parallel (one worker per host CPU) and against a
+// warm result cache.  On a multi-core host the parallel run's ns/op
+// approaches serial/workers; the cached run measures pure cache overhead —
+// together they track the speedup the sweep engine buys in the perf
+// trajectory.
+
+func runQuickFigureSet(b *testing.B, opts experiments.Options) {
+	b.Helper()
+	if _, err := experiments.Figure3(opts); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.Figure4(opts); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func sweepBenchOpts(workers int, cache sweep.Cache) experiments.Options {
+	return experiments.Options{Quick: true, Cores: []int{2, 8, 18, 26}, Workers: workers, Cache: cache}
+}
+
+func BenchmarkSweepQuickFiguresSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runQuickFigureSet(b, sweepBenchOpts(1, nil))
+	}
+}
+
+func BenchmarkSweepQuickFiguresParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runQuickFigureSet(b, sweepBenchOpts(runtime.NumCPU(), nil))
+	}
+	b.ReportMetric(float64(runtime.NumCPU()), "workers")
+}
+
+func BenchmarkSweepQuickFiguresCached(b *testing.B) {
+	cache := sweep.NewMemoryCache()
+	opts := sweepBenchOpts(runtime.NumCPU(), cache)
+	runQuickFigureSet(b, opts) // warm the cache
+	warmHits, warmMisses := cache.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runQuickFigureSet(b, opts)
+	}
+	hits, misses := cache.Stats()
+	hits, misses = hits-warmHits, misses-warmMisses
+	b.ReportMetric(float64(hits)/float64(hits+misses), "hit-ratio")
 }
 
 // Profiler benchmarks: the §6.1 timing comparison. The two benchmarks run

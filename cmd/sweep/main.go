@@ -1,0 +1,198 @@
+// Command sweep runs arbitrary design-space sweeps on the parallel sweep
+// engine: the cross product of workloads, schedulers and CMP configurations,
+// simulated concurrently with deterministic output ordering and an optional
+// on-disk result cache.
+//
+// Usage:
+//
+//	sweep -workloads mergesort,hashjoin                 # PDF vs WS, Table 2
+//	sweep -tables 45nm -cores 2,8,18,26 -quick          # a Figure 3 slice
+//	sweep -workloads lu -seq -format csv -o lu.csv      # with speedup baseline
+//	sweep -cache-dir .sweep-cache -workloads mergesort  # re-runs are instant
+//
+// Workload inputs are sized exactly as the experiment harness sizes them
+// (internal/experiments), so sweep points are comparable to figure points;
+// results stream to a summary table, CSV or JSON as they complete.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmpsched/internal/config"
+	"cmpsched/internal/experiments"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
+	"cmpsched/internal/workload"
+)
+
+func main() {
+	var (
+		workloads  = flag.String("workloads", "mergesort,hashjoin,lu", "comma-separated workloads: "+strings.Join(workload.Names(), ", "))
+		schedulers = flag.String("schedulers", "pdf,ws", "comma-separated schedulers: pdf, ws, fifo")
+		tables     = flag.String("tables", sweep.TableDefault, "configuration tables: default (Table 2), 45nm (Table 3)")
+		cores      = flag.String("cores", "", "comma-separated core counts (empty = all the tables define)")
+		scale      = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
+		quick      = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
+		seq        = flag.Bool("seq", false, "also run the sequential baseline per point")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = one per host CPU, 1 = serial)")
+		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+		format     = flag.String("format", "table", "output format: table, csv or json")
+		out        = flag.String("o", "", "output file (empty = stdout)")
+		verbose    = flag.Bool("v", false, "log each completed job to stderr")
+	)
+	flag.Parse()
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatalf("unknown format %q (want table, csv or json)", *format)
+	}
+
+	spec := sweep.Spec{
+		Workloads:  splitList(*workloads),
+		Schedulers: splitList(*schedulers),
+		Tables:     splitList(*tables),
+		Scale:      *scale,
+		Quick:      *quick,
+		Sequential: *seq,
+		Factory:    experiments.Options{Scale: *scale, Quick: *quick}.WorkloadFactory(),
+	}
+	var err error
+	if spec.Cores, err = parseInts(*cores); err != nil {
+		fatalf("bad -cores: %v", err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var cache sweep.Cache
+	if *cacheDir != "" {
+		if cache, err = sweep.NewDiskCache(*cacheDir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	engine := sweep.NewEngine(sweep.EngineOptions{Workers: *workers, Cache: cache})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// The summary aggregation and progress log stream as jobs complete;
+	// the exported output is always written from the ordered result slice
+	// so it is deterministic regardless of worker count.
+	agg := sweep.NewAggregator()
+	done := 0
+	start := time.Now()
+	onResult := func(i int, r sweep.Result) {
+		agg.Add(r)
+		done++
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s on %s: %d cycles%s\n",
+				done, len(jobs), r.Key, r.Sim.Config.Name, r.Sim.Cycles, cachedTag(r))
+		}
+	}
+	results, err := engine.RunStream(jobs, onResult)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	switch *format {
+	case "csv":
+		if err := sweep.WriteCSV(w, results); err != nil {
+			fatalf("write csv: %v", err)
+		}
+	case "json":
+		if err := sweep.WriteJSON(w, results); err != nil {
+			fatalf("write json: %v", err)
+		}
+	case "table":
+		printTables(w, results)
+	}
+
+	if *verbose || *format == "table" {
+		printSummary(os.Stderr, agg, engine, cache, len(jobs), elapsed)
+	}
+}
+
+func cachedTag(r sweep.Result) string {
+	if r.Cached {
+		return " (cached)"
+	}
+	return ""
+}
+
+// printTables renders every result as one aligned row.
+func printTables(w *os.File, results []sweep.Result) {
+	t := stats.NewTable("workload", "sched", "config", "cores", "cycles", "L2 misses/Ki", "mem util %", "cached")
+	for _, r := range results {
+		t.AddRow(
+			r.Key.Workload, r.Key.Scheduler, r.Sim.Config.Name,
+			strconv.Itoa(r.Sim.Config.Cores),
+			strconv.FormatInt(r.Sim.Cycles, 10),
+			fmt.Sprintf("%.3f", r.Sim.L2MissesPerKiloInstr()),
+			fmt.Sprintf("%.1f", r.Sim.MemUtilization*100),
+			strconv.FormatBool(r.Cached),
+		)
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// printSummary reports the per-series aggregate and engine statistics.
+func printSummary(w *os.File, agg *sweep.Aggregator, engine *sweep.Engine, cache sweep.Cache, jobs int, elapsed time.Duration) {
+	t := stats.NewTable("workload", "sched", "runs", "cache hits", "best config", "best cycles", "mean mem util %")
+	for _, row := range agg.Rows() {
+		t.AddRow(
+			row.Workload, row.Scheduler,
+			strconv.Itoa(row.Runs), strconv.Itoa(row.CacheHits),
+			row.BestConfig, strconv.FormatInt(row.BestCycles, 10),
+			fmt.Sprintf("%.1f", row.MeanMemUtil*100),
+		)
+	}
+	fmt.Fprintf(w, "\n%s", t.String())
+	fmt.Fprintf(w, "%d jobs on %d workers in %.2fs", jobs, engine.Workers(), elapsed.Seconds())
+	if cache != nil {
+		hits, misses := cache.Stats()
+		fmt.Fprintf(w, "; cache: %d hits, %d misses", hits, misses)
+	}
+	fmt.Fprintln(w)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

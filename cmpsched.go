@@ -40,6 +40,7 @@ import (
 	"cmpsched/internal/experiments"
 	"cmpsched/internal/profile"
 	"cmpsched/internal/sched"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/taskgroup"
 	"cmpsched/internal/workload"
 )
@@ -96,6 +97,28 @@ type (
 
 	// ExperimentOptions controls the experiment harness.
 	ExperimentOptions = experiments.Options
+
+	// SweepSpec declares a design-space sweep: the cross product of
+	// workloads, schedulers and CMP configurations (see internal/sweep).
+	SweepSpec = sweep.Spec
+	// SweepJob is one simulation of a sweep.
+	SweepJob = sweep.Job
+	// SweepKey is the content address of one simulation run.
+	SweepKey = sweep.Key
+	// SweepResult is the outcome of one sweep job.
+	SweepResult = sweep.Result
+	// SweepEngine runs job lists on a bounded worker pool with
+	// deterministic result ordering.
+	SweepEngine = sweep.Engine
+	// SweepEngineOptions configure a SweepEngine.
+	SweepEngineOptions = sweep.EngineOptions
+	// SweepCache memoises finished runs by content address.
+	SweepCache = sweep.Cache
+	// SweepSummaryRow aggregates one (workload, scheduler) series.
+	SweepSummaryRow = sweep.SummaryRow
+	// SweepWorkloadFactory builds workloads for sweep specifications; see
+	// ExperimentOptions.WorkloadFactory for the paper-sized inputs.
+	SweepWorkloadFactory = sweep.WorkloadFactory
 )
 
 // DefaultScale is the factor by which cache capacities and workload inputs
@@ -207,6 +230,29 @@ func CoarsenTasks(p *Profile, tree *GroupTree, params CoarsenParams) (*CoarsenSe
 func CollapseDAG(d *DAG, tree *GroupTree, sel *CoarsenSelection) (*DAG, error) {
 	return coarsen.CollapseDAG(d, tree, sel)
 }
+
+// NewSweepEngine returns a parallel sweep engine (see internal/sweep).
+func NewSweepEngine(opts SweepEngineOptions) *SweepEngine { return sweep.NewEngine(opts) }
+
+// NewSweepMemoryCache returns an in-memory sweep result cache.
+func NewSweepMemoryCache() SweepCache { return sweep.NewMemoryCache() }
+
+// NewSweepDiskCache returns a sweep result cache persisted under dir, so
+// repeated sweeps across processes are near-instant.
+func NewSweepDiskCache(dir string) (SweepCache, error) { return sweep.NewDiskCache(dir) }
+
+// RunSweep expands the spec and executes it with the given engine options.
+func RunSweep(spec SweepSpec, opts SweepEngineOptions) ([]SweepResult, error) {
+	return spec.Run(opts)
+}
+
+// WriteSweepCSV, WriteSweepJSON and ReadSweepJSON export and import sweep
+// results (JSON round-trips losslessly).
+var (
+	WriteSweepCSV  = sweep.WriteCSV
+	WriteSweepJSON = sweep.WriteJSON
+	ReadSweepJSON  = sweep.ReadJSON
+)
 
 // Experiment runners: each regenerates one of the paper's tables or figures
 // and returns a result whose String method prints the corresponding rows.

@@ -1,0 +1,3 @@
+module cmpsched
+
+go 1.24

@@ -140,14 +140,24 @@ func Run(d *dag.DAG, s sched.Scheduler, cfg config.CMP) (*Result, error) {
 	return RunWithOptions(d, s, cfg, DefaultOptions())
 }
 
+// SequentialConfig returns the one-core baseline configuration (same caches
+// and memory) that sequential runs are simulated on.
+func SequentialConfig(cfg config.CMP) config.CMP {
+	cfg.Cores = 1
+	cfg.Name += "/sequential"
+	return cfg
+}
+
 // RunSequential simulates the sequential execution of d on a single core of
 // the given configuration (same caches and memory), which is the baseline
 // the paper's speedups are reported against.
 func RunSequential(d *dag.DAG, cfg config.CMP) (*Result, error) {
-	seq := cfg
-	seq.Cores = 1
-	seq.Name = cfg.Name + "/sequential"
-	return Run(d, sched.NewPDF(), seq)
+	return RunSequentialWithOptions(d, cfg, DefaultOptions())
+}
+
+// RunSequentialWithOptions is RunSequential with explicit options.
+func RunSequentialWithOptions(d *dag.DAG, cfg config.CMP, opts Options) (*Result, error) {
+	return RunWithOptions(d, sched.NewPDF(), SequentialConfig(cfg), opts)
 }
 
 // event is a pending simulator event: core is ready to proceed at time.

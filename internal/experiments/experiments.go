@@ -13,20 +13,23 @@
 // differ from the paper (the substrate is a scaled event-driven model, not
 // the authors' testbed); the shapes — who wins, by what factor, where the
 // crossovers fall — are what the harness reproduces (see EXPERIMENTS.md).
+//
+// Every figure expands into a list of simulation jobs executed by the
+// parallel sweep engine (internal/sweep), so figures use all cores of the
+// host and repeated runs are served from the engine's result cache when one
+// is configured (see Options.Workers and Options.Cache).
 package experiments
 
 import (
 	"fmt"
 
-	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
-	"cmpsched/internal/sched"
-	"cmpsched/internal/taskgroup"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
 
-// Options control experiment scale.
+// Options control experiment scale and execution.
 type Options struct {
 	// Scale is the capacity scale factor applied to the configuration
 	// tables. Zero means config.DefaultScale (32).
@@ -38,6 +41,14 @@ type Options struct {
 	// Cores optionally restricts the core counts evaluated (when nil the
 	// experiment's default list is used).
 	Cores []int
+	// Workers bounds the number of concurrent simulations when a figure's
+	// jobs run on the sweep engine. Zero means one worker per host CPU; 1
+	// forces serial execution.
+	Workers int
+	// Cache, when non-nil, memoises simulation runs across figures (and,
+	// with a disk-backed cache, across processes). Repeated runs of the
+	// same figure at the same options are then near-instant.
+	Cache sweep.Cache
 }
 
 // effectiveScale returns the configuration scale factor for the options.
@@ -111,69 +122,102 @@ func (o Options) luConfig() workload.LUConfig {
 	return workload.LUConfig{N: n, BlockElems: 32}
 }
 
-// buildWorkload constructs the named benchmark for a configuration.
-func (o Options) buildWorkload(name string, cfg config.CMP) (*dag.DAG, *taskgroup.Tree, error) {
-	var w workload.Workload
-	switch name {
-	case "mergesort":
-		w = workload.NewMergesort(o.mergesortConfig())
-	case "hashjoin":
-		w = workload.NewHashJoin(o.hashJoinConfig(cfg))
-	case "lu":
-		w = workload.NewLU(o.luConfig())
-	default:
-		var err error
-		w, err = workload.New(name)
-		if err != nil {
-			return nil, nil, err
+// workloadSpec is the single point deciding both the inputs a named
+// benchmark is built with and the canonical fingerprint of those inputs —
+// one switch, so a sweep cache key always covers exactly what the build
+// uses (a drift between the two would silently serve wrong cached results).
+func (o Options) workloadSpec(name string, cfg config.CMP) (build sweep.BuildFunc, params string, err error) {
+	dagOf := func(w workload.Workload) sweep.BuildFunc {
+		return func() (*dag.DAG, error) {
+			d, _, err := w.Build()
+			return d, err
 		}
 	}
-	return w.Build()
+	switch name {
+	case "mergesort":
+		c := o.mergesortConfig()
+		return dagOf(workload.NewMergesort(c)), fmt.Sprintf("%+v", c), nil
+	case "hashjoin":
+		c := o.hashJoinConfig(cfg)
+		return dagOf(workload.NewHashJoin(c)), fmt.Sprintf("%+v", c), nil
+	case "lu":
+		c := o.luConfig()
+		return dagOf(workload.NewLU(c)), fmt.Sprintf("%+v", c), nil
+	default:
+		// The remaining benchmarks take no Options-dependent inputs.
+		w, err := workload.New(name)
+		if err != nil {
+			return nil, "", err
+		}
+		return dagOf(w), "default", nil
+	}
 }
 
-// runPair simulates the DAG under PDF and WS on the configuration and also
-// returns the sequential baseline. The DAG is rebuilt for each run via the
-// build function to keep generators independent.
-func runPair(build func() (*dag.DAG, error), cfg config.CMP) (seq, pdf, ws *cmpsim.Result, err error) {
-	d, err := build()
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	if seq, err = cmpsim.RunSequential(d, cfg); err != nil {
-		return nil, nil, nil, fmt.Errorf("sequential on %s: %w", cfg.Name, err)
-	}
-	if d, err = build(); err != nil {
-		return nil, nil, nil, err
-	}
-	if pdf, err = cmpsim.Run(d, sched.NewPDF(), cfg); err != nil {
-		return nil, nil, nil, fmt.Errorf("pdf on %s: %w", cfg.Name, err)
-	}
-	if d, err = build(); err != nil {
-		return nil, nil, nil, err
-	}
-	if ws, err = cmpsim.Run(d, sched.NewWS(), cfg); err != nil {
-		return nil, nil, nil, fmt.Errorf("ws on %s: %w", cfg.Name, err)
-	}
-	return seq, pdf, ws, nil
+// run executes the jobs on the sweep engine configured by the options and
+// returns the results in job order.
+func (o Options) run(jobs []sweep.Job) ([]sweep.Result, error) {
+	return sweep.NewEngine(sweep.EngineOptions{Workers: o.Workers, Cache: o.Cache}).Run(jobs)
 }
 
-// runSchedulers simulates the DAG under PDF and WS only (no sequential
-// baseline), for experiments that report raw execution time.
-func runSchedulers(build func() (*dag.DAG, error), cfg config.CMP) (pdf, ws *cmpsim.Result, err error) {
-	d, err := build()
+// grid pairs each experiment grid point's payload with its group of sweep
+// jobs, so the two can never drift out of alignment the way parallel
+// points/jobs slices could.  runGrid flattens every group into one engine
+// run (maximising parallelism across the whole figure) and hands each
+// payload its own results back.
+type grid[P any] struct {
+	points []P
+	groups [][]sweep.Job
+}
+
+// add appends one grid point and the jobs that evaluate it.
+func (g *grid[P]) add(p P, jobs ...sweep.Job) {
+	g.points = append(g.points, p)
+	g.groups = append(g.groups, jobs)
+}
+
+// runGrid executes the grid's jobs through the sweep engine and calls visit
+// once per point, in add order, with the point's results in job order.
+func runGrid[P any](o Options, g *grid[P], visit func(p P, rs []sweep.Result)) error {
+	var jobs []sweep.Job
+	for _, group := range g.groups {
+		jobs = append(jobs, group...)
+	}
+	results, err := o.run(jobs)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	if pdf, err = cmpsim.Run(d, sched.NewPDF(), cfg); err != nil {
-		return nil, nil, fmt.Errorf("pdf on %s: %w", cfg.Name, err)
+	for i, p := range g.points {
+		n := len(g.groups[i])
+		visit(p, results[:n:n])
+		results = results[n:]
 	}
-	if d, err = build(); err != nil {
-		return nil, nil, err
+	return nil
+}
+
+// schedulerJobs returns the jobs simulating the named workload on cfg —
+// optionally led by the sequential baseline, then PDF, then WS — the fixed
+// (seq, pdf, ws) order the figure decoders rely on.
+func (o Options) schedulerJobs(name string, cfg config.CMP, withSeq bool) ([]sweep.Job, error) {
+	build, params, err := o.workloadSpec(name, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if ws, err = cmpsim.Run(d, sched.NewWS(), cfg); err != nil {
-		return nil, nil, fmt.Errorf("ws on %s: %w", cfg.Name, err)
+	var jobs []sweep.Job
+	if withSeq {
+		jobs = append(jobs, sweep.NewJob(name, params, sweep.Sequential, cfg, build))
 	}
-	return pdf, ws, nil
+	jobs = append(jobs,
+		sweep.NewJob(name, params, "pdf", cfg, build),
+		sweep.NewJob(name, params, "ws", cfg, build),
+	)
+	return jobs, nil
+}
+
+// WorkloadFactory adapts the harness's standard inputs (paper-sized,
+// quick-scaled) to sweep.Spec, so cmd/sweep grids use the same workload
+// parameterisation as the figures.
+func (o Options) WorkloadFactory() sweep.WorkloadFactory {
+	return o.workloadSpec
 }
 
 func maxI64(a, b int64) int64 {

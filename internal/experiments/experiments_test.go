@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"cmpsched/internal/sweep"
 )
 
 // quick returns fast options for unit tests.
@@ -25,6 +28,68 @@ func TestOptionsScaling(t *testing.T) {
 	}
 	if got := (Options{Cores: []int{3}}).coresOrDefault([]int{1, 2}); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("coresOrDefault wrong")
+	}
+}
+
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	serial := quick(2, 8, 18)
+	serial.Workers = 1
+	parallel := quick(2, 8, 18)
+	parallel.Workers = 8
+
+	s3, err := Figure3(serial)
+	if err != nil {
+		t.Fatalf("Figure3 serial: %v", err)
+	}
+	p3, err := Figure3(parallel)
+	if err != nil {
+		t.Fatalf("Figure3 parallel: %v", err)
+	}
+	if !reflect.DeepEqual(s3, p3) {
+		t.Errorf("Figure3 differs between 1 and 8 workers")
+	}
+
+	s1, err := Figure1(serial)
+	if err != nil {
+		t.Fatalf("Figure1 serial: %v", err)
+	}
+	p1, err := Figure1(parallel)
+	if err != nil {
+		t.Fatalf("Figure1 parallel: %v", err)
+	}
+	if !reflect.DeepEqual(s1, p1) {
+		t.Errorf("Figure1 differs between 1 and 8 workers")
+	}
+}
+
+func TestFigureCacheReuse(t *testing.T) {
+	cache := sweep.NewMemoryCache()
+	opts := quick(2, 8)
+	opts.Cache = cache
+
+	first, err := Figure3(opts)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses == 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want cold cache", hits, misses)
+	}
+	second, err := Figure3(opts)
+	if err != nil {
+		t.Fatalf("Figure3 (cached): %v", err)
+	}
+	hits, _ = cache.Stats()
+	if hits != misses {
+		t.Errorf("second run: hits=%d, want every lookup (%d) served", hits, misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached figure differs from computed figure")
+	}
+	// A different figure sharing the cache must not collide: Figure4 uses
+	// the same workloads on different configurations.
+	if _, err := Figure4(opts); err != nil {
+		t.Fatalf("Figure4 over shared cache: %v", err)
 	}
 }
 

@@ -5,9 +5,9 @@ import (
 	"sort"
 	"strings"
 
-	"cmpsched/internal/cmpsim"
-	"cmpsched/internal/sched"
+	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
 
@@ -56,19 +56,25 @@ func Figure1(opts Options) (*Figure1Result, error) {
 		ArrayBytes: elements * elemBytes,
 		Scale:      opts.effectiveScale(),
 	}
-	byLevel := map[int]*Figure1Row{}
-	for _, schedName := range []string{"pdf", "ws"} {
+	build := func() (*dag.DAG, error) {
 		d, _, err := workload.NewMergesort(msCfg).Build()
-		if err != nil {
-			return nil, err
-		}
-		s, _ := sched.New(schedName)
-		r, err := cmpsim.Run(d, s, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure1 %s: %w", schedName, err)
-		}
-		levelMisses := r.L2MissesByLevel(d)
-		for level, misses := range levelMisses {
+		return d, err
+	}
+	params := fmt.Sprintf("%+v", msCfg)
+	var jobs []sweep.Job
+	for _, schedName := range []string{"pdf", "ws"} {
+		jobs = append(jobs,
+			sweep.NewJob("mergesort", params, schedName, cfg, build).
+				WithDerive("levels", sweep.DeriveLevelMisses))
+	}
+	results, err := opts.run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("figure1: %w", err)
+	}
+
+	byLevel := map[int]*Figure1Row{}
+	for i, schedName := range []string{"pdf", "ws"} {
+		for level, misses := range sweep.LevelMisses(results[i].Derived) {
 			row, ok := byLevel[level]
 			if !ok {
 				row = &Figure1Row{Level: level}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 )
 
 // Figure2Row is one point of Figure 2: one benchmark on one default
@@ -42,6 +42,11 @@ func Figure2Workloads() []string { return []string{"lu", "hashjoin", "mergesort"
 // Mergesort (up to 32 cores).
 func Figure2(opts Options) (*Figure2Result, error) {
 	res := &Figure2Result{Scale: opts.effectiveScale()}
+	type point struct {
+		wl    string
+		cores int
+	}
+	var g grid[point]
 	for _, wl := range Figure2Workloads() {
 		coreList := opts.coresOrDefault([]int{1, 2, 4, 8, 16, 32})
 		for _, cores := range coreList {
@@ -54,30 +59,33 @@ func Figure2(opts Options) (*Figure2Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			build := func() (*dag.DAG, error) {
-				d, _, err := opts.buildWorkload(wl, cfg)
-				return d, err
-			}
-			seq, pdf, ws, err := runPair(build, cfg)
+			jobs, err := opts.schedulerJobs(wl, cfg, true)
 			if err != nil {
-				return nil, fmt.Errorf("figure2 %s/%d cores: %w", wl, cores, err)
+				return nil, err
 			}
-			res.Rows = append(res.Rows,
-				Figure2Row{
-					Workload: wl, Cores: cores, Scheduler: "pdf",
-					Speedup:              pdf.Speedup(seq),
-					L2MissesPerKiloInstr: pdf.L2MissesPerKiloInstr(),
-					MemUtilization:       pdf.MemUtilization,
-					Cycles:               pdf.Cycles,
-				},
-				Figure2Row{
-					Workload: wl, Cores: cores, Scheduler: "ws",
-					Speedup:              ws.Speedup(seq),
-					L2MissesPerKiloInstr: ws.L2MissesPerKiloInstr(),
-					MemUtilization:       ws.MemUtilization,
-					Cycles:               ws.Cycles,
-				})
+			g.add(point{wl, cores}, jobs...)
 		}
+	}
+	err := runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		seq, pdf, ws := rs[0].Sim, rs[1].Sim, rs[2].Sim
+		res.Rows = append(res.Rows,
+			Figure2Row{
+				Workload: pt.wl, Cores: pt.cores, Scheduler: "pdf",
+				Speedup:              pdf.Speedup(seq),
+				L2MissesPerKiloInstr: pdf.L2MissesPerKiloInstr(),
+				MemUtilization:       pdf.MemUtilization,
+				Cycles:               pdf.Cycles,
+			},
+			Figure2Row{
+				Workload: pt.wl, Cores: pt.cores, Scheduler: "ws",
+				Speedup:              ws.Speedup(seq),
+				L2MissesPerKiloInstr: ws.L2MissesPerKiloInstr(),
+				MemUtilization:       ws.MemUtilization,
+				Cycles:               ws.Cycles,
+			})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure2: %w", err)
 	}
 	return res, nil
 }

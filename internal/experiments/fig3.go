@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 )
 
 // Figure3Row is one point of Figure 3: a benchmark on one 45 nm
@@ -36,25 +36,33 @@ func Figure3Workloads() []string { return []string{"hashjoin", "mergesort"} }
 func Figure3(opts Options) (*Figure3Result, error) {
 	res := &Figure3Result{Scale: opts.effectiveScale()}
 	coreList := opts.coresOrDefault([]int{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26})
+	type point struct {
+		wl    string
+		cores int
+	}
+	var g grid[point]
 	for _, wl := range Figure3Workloads() {
 		for _, cores := range coreList {
 			cfg, err := opts.scaled45nm(cores)
 			if err != nil {
 				return nil, err
 			}
-			build := func() (*dag.DAG, error) {
-				d, _, err := opts.buildWorkload(wl, cfg)
-				return d, err
-			}
-			pdf, ws, err := runSchedulers(build, cfg)
+			jobs, err := opts.schedulerJobs(wl, cfg, false)
 			if err != nil {
-				return nil, fmt.Errorf("figure3 %s/%d cores: %w", wl, cores, err)
+				return nil, err
 			}
-			res.Rows = append(res.Rows,
-				Figure3Row{Workload: wl, Cores: cores, Scheduler: "pdf", Cycles: pdf.Cycles, L2SizeBytes: cfg.L2.SizeBytes, MemUtilization: pdf.MemUtilization},
-				Figure3Row{Workload: wl, Cores: cores, Scheduler: "ws", Cycles: ws.Cycles, L2SizeBytes: cfg.L2.SizeBytes, MemUtilization: ws.MemUtilization},
-			)
+			g.add(point{wl, cores}, jobs...)
 		}
+	}
+	err := runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		pdf, ws := rs[0].Sim, rs[1].Sim
+		res.Rows = append(res.Rows,
+			Figure3Row{Workload: pt.wl, Cores: pt.cores, Scheduler: "pdf", Cycles: pdf.Cycles, L2SizeBytes: pdf.Config.L2.SizeBytes, MemUtilization: pdf.MemUtilization},
+			Figure3Row{Workload: pt.wl, Cores: pt.cores, Scheduler: "ws", Cycles: ws.Cycles, L2SizeBytes: ws.Config.L2.SizeBytes, MemUtilization: ws.MemUtilization},
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
 
@@ -59,6 +60,11 @@ func Figure6(opts Options) (*Figure6Result, error) {
 		sizes = sizes[len(sizes)-4:]
 	}
 	msBase := opts.mergesortConfig()
+	type point struct {
+		cores int
+		ws    int64
+	}
+	var g grid[point]
 	for _, cores := range coreList {
 		cfg, err := opts.scaledDefault(cores)
 		if err != nil {
@@ -71,15 +77,22 @@ func Figure6(opts Options) (*Figure6Result, error) {
 				d, _, err := workload.NewMergesort(msCfg).Build()
 				return d, err
 			}
-			pdfRes, wsRes, err := runSchedulers(build, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure6 %d cores, task ws %d: %w", cores, ws, err)
-			}
-			res.Rows = append(res.Rows,
-				Figure6Row{Cores: cores, Scheduler: "pdf", TaskWorkingSetBytes: ws, L2MissesPerKiloInstr: pdfRes.L2MissesPerKiloInstr(), Cycles: pdfRes.Cycles},
-				Figure6Row{Cores: cores, Scheduler: "ws", TaskWorkingSetBytes: ws, L2MissesPerKiloInstr: wsRes.L2MissesPerKiloInstr(), Cycles: wsRes.Cycles},
+			params := fmt.Sprintf("%+v", msCfg)
+			g.add(point{cores, ws},
+				sweep.NewJob("mergesort", params, "pdf", cfg, build),
+				sweep.NewJob("mergesort", params, "ws", cfg, build),
 			)
 		}
+	}
+	err := runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		pdfRes, wsRes := rs[0].Sim, rs[1].Sim
+		res.Rows = append(res.Rows,
+			Figure6Row{Cores: pt.cores, Scheduler: "pdf", TaskWorkingSetBytes: pt.ws, L2MissesPerKiloInstr: pdfRes.L2MissesPerKiloInstr(), Cycles: pdfRes.Cycles},
+			Figure6Row{Cores: pt.cores, Scheduler: "ws", TaskWorkingSetBytes: pt.ws, L2MissesPerKiloInstr: wsRes.L2MissesPerKiloInstr(), Cycles: wsRes.Cycles},
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure6: %w", err)
 	}
 	return res, nil
 }

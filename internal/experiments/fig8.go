@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/coarsen"
 	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
 	"cmpsched/internal/profile"
-	"cmpsched/internal/sched"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
 
@@ -74,6 +74,12 @@ func Figure8(opts Options) (*Figure8Result, error) {
 		return nil, err
 	}
 
+	// Per core count: previous, dag, actual — all under PDF.
+	type point struct {
+		cores     int
+		threshold int64
+	}
+	var g grid[point]
 	for _, cores := range coreList {
 		cfg, err := opts.scaledDefault(cores)
 		if err != nil {
@@ -86,23 +92,22 @@ func Figure8(opts Options) (*Figure8Result, error) {
 		threshold := int64(sel.Threshold("mergesort.go:sort"))
 
 		// (a) previous: the manual selection used throughout §5.
-		prevDAG, _, err := workload.NewMergesort(opts.mergesortConfig()).Build()
-		if err != nil {
-			return nil, err
-		}
-		prevRes, err := cmpsim.Run(prevDAG, sched.NewPDF(), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8 previous %d cores: %w", cores, err)
+		prevCfg := opts.mergesortConfig()
+		prevBuild := func() (*dag.DAG, error) {
+			d, _, err := workload.NewMergesort(prevCfg).Build()
+			return d, err
 		}
 
-		// (b) dag substitution over the finest-grain trace.
-		collapsed, err := coarsen.CollapseDAG(fineDAG, fineTree, sel)
-		if err != nil {
-			return nil, err
-		}
-		dagRes, err := cmpsim.Run(collapsed, sched.NewPDF(), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8 dag %d cores: %w", cores, err)
+		// (b) dag substitution over the finest-grain trace.  The collapsed
+		// DAG shares the source DAG's (stateful) reference generators, so
+		// the build rebuilds the deterministic finest-grain program rather
+		// than collapsing the shared fineDAG into concurrently-run copies.
+		dagBuild := func() (*dag.DAG, error) {
+			d, _, err := workload.NewMergesort(fineCfg).Build()
+			if err != nil {
+				return nil, err
+			}
+			return coarsen.CollapseDAG(d, fineTree, sel)
 		}
 
 		// (c) actual regeneration with the recommended threshold.
@@ -110,22 +115,33 @@ func Figure8(opts Options) (*Figure8Result, error) {
 		if threshold > 0 {
 			actualCfg.TaskWorkingSetBytes = threshold
 		}
-		actualDAG, _, err := workload.NewMergesort(actualCfg).Build()
-		if err != nil {
-			return nil, err
-		}
-		actualRes, err := cmpsim.Run(actualDAG, sched.NewPDF(), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8 actual %d cores: %w", cores, err)
+		actualBuild := func() (*dag.DAG, error) {
+			d, _, err := workload.NewMergesort(actualCfg).Build()
+			return d, err
 		}
 
+		// The previous/actual schemes are plain mergesort runs keyed only
+		// by their configs — the scheme is presentation metadata, not a
+		// simulation input — so a shared cache reuses them across figures
+		// (Figure 2 runs the identical "previous" simulation).
+		g.add(point{cores, threshold},
+			sweep.NewJob("mergesort", fmt.Sprintf("%+v", prevCfg), "pdf", cfg, prevBuild),
+			sweep.NewJob("mergesort/coarsened", fmt.Sprintf("fine=%+v threshold=%d", fineCfg, threshold), "pdf", cfg, dagBuild),
+			sweep.NewJob("mergesort", fmt.Sprintf("%+v", actualCfg), "pdf", cfg, actualBuild),
+		)
+	}
+	err = runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		prevRes, dagRes, actualRes := rs[0].Sim, rs[1].Sim, rs[2].Sim
 		cycles := []float64{float64(prevRes.Cycles), float64(dagRes.Cycles), float64(actualRes.Cycles)}
 		norm := stats.Normalize(cycles)
 		res.Rows = append(res.Rows,
-			Figure8Row{Cores: cores, Scheme: SchemePrevious, Cycles: prevRes.Cycles, Normalized: norm[0]},
-			Figure8Row{Cores: cores, Scheme: SchemeDAG, Cycles: dagRes.Cycles, Normalized: norm[1], ThresholdBytes: threshold},
-			Figure8Row{Cores: cores, Scheme: SchemeActual, Cycles: actualRes.Cycles, Normalized: norm[2], ThresholdBytes: threshold},
+			Figure8Row{Cores: pt.cores, Scheme: SchemePrevious, Cycles: prevRes.Cycles, Normalized: norm[0]},
+			Figure8Row{Cores: pt.cores, Scheme: SchemeDAG, Cycles: dagRes.Cycles, Normalized: norm[1], ThresholdBytes: pt.threshold},
+			Figure8Row{Cores: pt.cores, Scheme: SchemeActual, Cycles: actualRes.Cycles, Normalized: norm[2], ThresholdBytes: pt.threshold},
 		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure8: %w", err)
 	}
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
 
@@ -45,54 +46,54 @@ func Granularity(opts Options) (*GranularityResult, error) {
 	}
 	res := &GranularityResult{Cores: cfg.Cores, Scale: opts.effectiveScale()}
 
-	type variant struct {
-		workload string
-		coarse   func() (*dag.DAG, error)
-		fine     func() (*dag.DAG, error)
-	}
 	hjFine := opts.hashJoinConfig(cfg)
 	hjCoarse := hjFine
 	hjCoarse.CoarseGrained = true
 	msFine := opts.mergesortConfig()
 	msCoarse := msFine
 	msCoarse.SerialMerge = true
-	variants := []variant{
-		{
-			workload: "hashjoin",
-			coarse: func() (*dag.DAG, error) {
-				d, _, err := workload.NewHashJoin(hjCoarse).Build()
-				return d, err
-			},
-			fine: func() (*dag.DAG, error) {
-				d, _, err := workload.NewHashJoin(hjFine).Build()
-				return d, err
-			},
-		},
-		{
-			workload: "mergesort",
-			coarse: func() (*dag.DAG, error) {
-				d, _, err := workload.NewMergesort(msCoarse).Build()
-				return d, err
-			},
-			fine: func() (*dag.DAG, error) {
-				d, _, err := workload.NewMergesort(msFine).Build()
-				return d, err
-			},
-		},
+
+	hjBuild := func(cfg workload.HashJoinConfig) sweep.BuildFunc {
+		return func() (*dag.DAG, error) {
+			d, _, err := workload.NewHashJoin(cfg).Build()
+			return d, err
+		}
 	}
-	for _, v := range variants {
-		coarsePDF, coarseWS, err := runSchedulers(v.coarse, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("granularity %s coarse: %w", v.workload, err)
+	msBuild := func(cfg workload.MergesortConfig) sweep.BuildFunc {
+		return func() (*dag.DAG, error) {
+			d, _, err := workload.NewMergesort(cfg).Build()
+			return d, err
 		}
-		finePDF, fineWS, err := runSchedulers(v.fine, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("granularity %s fine: %w", v.workload, err)
+	}
+	// Per workload: coarse pdf, coarse ws, fine pdf, fine ws.
+	var g grid[string]
+	for _, wl := range []string{"hashjoin", "mergesort"} {
+		var coarse, fine sweep.BuildFunc
+		var coarseParams, fineParams string
+		if wl == "hashjoin" {
+			coarse, fine = hjBuild(hjCoarse), hjBuild(hjFine)
+			coarseParams, fineParams = fmt.Sprintf("%+v", hjCoarse), fmt.Sprintf("%+v", hjFine)
+		} else {
+			coarse, fine = msBuild(msCoarse), msBuild(msFine)
+			coarseParams, fineParams = fmt.Sprintf("%+v", msCoarse), fmt.Sprintf("%+v", msFine)
 		}
-		res.Rows = append(res.Rows,
-			GranularityRow{Workload: v.workload, Scheduler: "pdf", CoarseCycles: coarsePDF.Cycles, FineCycles: finePDF.Cycles},
-			GranularityRow{Workload: v.workload, Scheduler: "ws", CoarseCycles: coarseWS.Cycles, FineCycles: fineWS.Cycles},
+		g.add(wl,
+			sweep.NewJob(wl, coarseParams, "pdf", cfg, coarse),
+			sweep.NewJob(wl, coarseParams, "ws", cfg, coarse),
+			sweep.NewJob(wl, fineParams, "pdf", cfg, fine),
+			sweep.NewJob(wl, fineParams, "ws", cfg, fine),
 		)
+	}
+	err = runGrid(opts, &g, func(wl string, rs []sweep.Result) {
+		coarsePDF, coarseWS := rs[0].Sim, rs[1].Sim
+		finePDF, fineWS := rs[2].Sim, rs[3].Sim
+		res.Rows = append(res.Rows,
+			GranularityRow{Workload: wl, Scheduler: "pdf", CoarseCycles: coarsePDF.Cycles, FineCycles: finePDF.Cycles},
+			GranularityRow{Workload: wl, Scheduler: "ws", CoarseCycles: coarseWS.Cycles, FineCycles: fineWS.Cycles},
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("granularity: %w", err)
 	}
 	return res, nil
 }

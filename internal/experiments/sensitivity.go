@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"cmpsched/internal/config"
-	"cmpsched/internal/dag"
 	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
 )
 
 // SensitivityRow is one point of Figure 4 or Figure 5.
@@ -45,28 +45,36 @@ func Figure5(opts Options) (*SensitivityResult, error) {
 		func(cfg config.CMP, v int64) config.CMP { return cfg.WithMemLatency(v) })
 }
 
-func sensitivity(opts Options, name, param string, sweep []int64, apply func(config.CMP, int64) config.CMP) (*SensitivityResult, error) {
+func sensitivity(opts Options, name, param string, values []int64, apply func(config.CMP, int64) config.CMP) (*SensitivityResult, error) {
 	base, err := opts.scaledDefault(16)
 	if err != nil {
 		return nil, err
 	}
 	res := &SensitivityResult{Name: name, Parameter: param, Scale: opts.effectiveScale()}
+	type point struct {
+		wl string
+		v  int64
+	}
+	var g grid[point]
 	for _, wl := range []string{"hashjoin", "mergesort"} {
-		for _, v := range sweep {
+		for _, v := range values {
 			cfg := apply(base, v)
-			build := func() (*dag.DAG, error) {
-				d, _, err := opts.buildWorkload(wl, cfg)
-				return d, err
-			}
-			pdf, ws, err := runSchedulers(build, cfg)
+			jobs, err := opts.schedulerJobs(wl, cfg, false)
 			if err != nil {
-				return nil, fmt.Errorf("%s %s %s=%d: %w", name, wl, param, v, err)
+				return nil, err
 			}
-			res.Rows = append(res.Rows,
-				SensitivityRow{Workload: wl, Scheduler: "pdf", Parameter: v, Cycles: pdf.Cycles},
-				SensitivityRow{Workload: wl, Scheduler: "ws", Parameter: v, Cycles: ws.Cycles},
-			)
+			g.add(point{wl, v}, jobs...)
 		}
+	}
+	err = runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		pdf, ws := rs[0].Sim, rs[1].Sim
+		res.Rows = append(res.Rows,
+			SensitivityRow{Workload: pt.wl, Scheduler: "pdf", Parameter: pt.v, Cycles: pdf.Cycles},
+			SensitivityRow{Workload: pt.wl, Scheduler: "ws", Parameter: pt.v, Cycles: ws.Cycles},
+		)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return res, nil
 }

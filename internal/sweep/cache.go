@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cmpsched/internal/cmpsim"
+)
+
+// Entry is one cached run: the simulator result plus any derived metrics,
+// addressed by the job key.
+type Entry struct {
+	Key     Key              `json:"key"`
+	Sim     *cmpsim.Result   `json:"sim"`
+	Derived map[string]int64 `json:"derived,omitempty"`
+}
+
+// Cache memoises finished runs by content address.  Implementations must be
+// safe for concurrent use by the engine's workers.
+type Cache interface {
+	Get(k Key) (Entry, bool)
+	Put(e Entry) error
+	// Stats reports the hit/miss counts observed by Get.
+	Stats() (hits, misses int64)
+}
+
+// counters implements the Stats half of Cache.
+type counters struct {
+	hits, misses atomic.Int64
+}
+
+func (c *counters) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// MemoryCache is an in-process map cache.
+type MemoryCache struct {
+	counters
+	mu sync.RWMutex
+	m  map[string]Entry
+}
+
+// NewMemoryCache returns an empty in-memory cache.
+func NewMemoryCache() *MemoryCache {
+	return &MemoryCache{m: make(map[string]Entry)}
+}
+
+// Get looks the key up.
+func (c *MemoryCache) Get(k Key) (Entry, bool) {
+	c.mu.RLock()
+	e, ok := c.m[k.Hash()]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put stores the entry.
+func (c *MemoryCache) Put(e Entry) error {
+	c.mu.Lock()
+	c.m[e.Key.Hash()] = e
+	c.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *MemoryCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DiskCache persists entries as <hash>.json files under a directory, with an
+// in-memory layer in front so repeated hits within a process do not re-read
+// or re-parse files.  Entries written by earlier processes are picked up, so
+// repeated sweeps across invocations are near-instant.
+type DiskCache struct {
+	counters
+	dir string
+	mem *MemoryCache
+}
+
+// NewDiskCache creates the directory if needed and returns a cache over it.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir, mem: NewMemoryCache()}, nil
+}
+
+// Dir returns the backing directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(k Key) string {
+	return filepath.Join(c.dir, k.Hash()+".json")
+}
+
+// Get checks the memory layer, then the directory.  Unreadable or corrupt
+// files are treated as misses (the entry is simply recomputed).
+func (c *DiskCache) Get(k Key) (Entry, bool) {
+	if e, ok := c.mem.Get(k); ok {
+		c.hits.Add(1)
+		return e, true
+	}
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != k {
+		// Corrupt file or (astronomically unlikely) hash collision.
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	_ = c.mem.Put(e)
+	c.hits.Add(1)
+	return e, true
+}
+
+// Put writes the entry to the memory layer and then atomically (write to a
+// temp file, rename) to the directory, so concurrent writers and readers
+// never observe partial files.
+func (c *DiskCache) Put(e Entry) error {
+	if err := c.mem.Put(e); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweep: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(e.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write: %w", err)
+	}
+	return nil
+}

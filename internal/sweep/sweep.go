@@ -1,0 +1,408 @@
+// Package sweep is the parallel design-space sweep engine.
+//
+// The paper's evaluation is a grid of (workload x scheduler x CMP
+// configuration) simulation runs; every figure is one slice of that grid.
+// This package turns such grids into explicit Job lists, runs them on a
+// bounded worker pool with deterministic result ordering, memoises finished
+// runs in a content-addressed cache (in memory, optionally mirrored to
+// disk), and streams results to aggregators and CSV/JSON exporters.
+//
+// The experiment harness (internal/experiments) expresses every figure as a
+// job list executed here, cmd/sweep exposes arbitrary sweeps on the command
+// line, and tests exploit the determinism guarantee: the results of a sweep
+// are identical regardless of the worker count, because each job builds its
+// own DAG (reference generators are stateful, so DAGs are never shared
+// between concurrent simulations) and the simulator itself is deterministic.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/config"
+	"cmpsched/internal/dag"
+	"cmpsched/internal/sched"
+)
+
+// Sequential is the pseudo-scheduler name selecting the one-core sequential
+// baseline run (the denominator of the paper's speedups).
+const Sequential = "seq"
+
+// Key is the content address of one simulation run: every input that can
+// change the result is folded into it.  Two jobs with equal keys are
+// guaranteed to produce equal results, which is what makes the cache sound.
+type Key struct {
+	// Workload names the benchmark (or benchmark variant, e.g.
+	// "mergesort/coarsened").
+	Workload string `json:"workload"`
+	// Params is a canonical fingerprint of the workload's build
+	// parameters (typically fmt.Sprintf("%+v", cfgStruct)).
+	Params string `json:"params"`
+	// Scheduler is "pdf", "ws", "fifo" or Sequential.
+	Scheduler string `json:"scheduler"`
+	// Config is a canonical fingerprint of the CMP configuration.
+	Config string `json:"config"`
+	// Options is a canonical fingerprint of the simulator options.
+	Options string `json:"options"`
+}
+
+// Hash returns the hex SHA-256 of the key, used as the cache address.
+func (k Key) Hash() string {
+	h := sha256.New()
+	// A length-prefixed encoding keeps field boundaries unambiguous.
+	for _, f := range []string{k.Workload, k.Params, k.Scheduler, k.Config, k.Options} {
+		fmt.Fprintf(h, "%d:%s|", len(f), f)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// String renders a short human-readable form for logs and errors.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s", k.Workload, k.Scheduler)
+}
+
+// BuildFunc constructs a fresh DAG for one run.  It is called once per
+// executed job, inside the worker, so it must be safe to call concurrently
+// with other jobs' builds — and must not return a DAG that shares reference
+// generators with any other live DAG.
+type BuildFunc func() (*dag.DAG, error)
+
+// DeriveFunc computes named scalar metrics from a finished run while the
+// DAG is still available (e.g. per-level miss aggregation).  Derived values
+// are stored in the cache next to the simulator result, so cache hits carry
+// them without rebuilding the DAG.
+type DeriveFunc func(d *dag.DAG, r *cmpsim.Result) (map[string]int64, error)
+
+// Job is one simulation to run.
+type Job struct {
+	// Key identifies the job for caching, ordering and reporting.
+	Key Key
+	// Config is the machine configuration to simulate.
+	Config config.CMP
+	// Scheduler is the scheduler name ("pdf", "ws", "fifo" or Sequential).
+	Scheduler string
+	// Build constructs the job's DAG.
+	Build BuildFunc
+	// Options, when non-nil, overrides cmpsim.DefaultOptions.
+	Options *cmpsim.Options
+	// Derive, when non-nil, computes extra metrics from the finished run.
+	Derive DeriveFunc
+	// KeepTaskStats retains the per-task stats on the result.  They are
+	// dropped by default: they are positional to the job's private DAG
+	// (useless to callers that may be served from the cache) and dominate
+	// the result's memory and disk footprint.  Jobs that keep task stats
+	// bypass the cache entirely — a cached entry could not honour them.
+	KeepTaskStats bool
+}
+
+// NewJob builds a Job whose key is derived canonically from the inputs.
+// params is the canonical fingerprint of the workload's build parameters —
+// conventionally fmt.Sprintf("%+v", cfgStruct) over a pointer-free config
+// struct, so equal parameters always produce equal fingerprints.
+func NewJob(workload, params, scheduler string, cfg config.CMP, build BuildFunc) Job {
+	return Job{
+		Key: Key{
+			Workload:  workload,
+			Params:    params,
+			Scheduler: scheduler,
+			Config:    fmt.Sprintf("%+v", cfg),
+			Options:   "",
+		},
+		Config:    cfg,
+		Scheduler: scheduler,
+		Build:     build,
+	}
+}
+
+// WithDerive attaches a derive function, folding its identity tag into the
+// key (different derivations must not share cache entries).
+func (j Job) WithDerive(tag string, fn DeriveFunc) Job {
+	j.Derive = fn
+	j.Key.Options += "|derive=" + tag
+	return j
+}
+
+// WithOptions attaches simulator options, folding them into the key.
+func (j Job) WithOptions(opts cmpsim.Options) Job {
+	j.Options = &opts
+	j.Key.Options += fmt.Sprintf("|opts=%+v", opts)
+	return j
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Key echoes the job's key.
+	Key Key `json:"key"`
+	// Sim is the simulator result (TaskStats dropped unless the job set
+	// KeepTaskStats).
+	Sim *cmpsim.Result `json:"sim"`
+	// Derived holds the job's derived metrics, if any.
+	Derived map[string]int64 `json:"derived,omitempty"`
+	// Cached reports whether the result was served from the cache.
+	Cached bool `json:"cached"`
+	// Elapsed is the wall-clock time the job took in this process
+	// (near zero on a cache hit).
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Engine runs job lists on a bounded worker pool.
+type Engine struct {
+	workers int
+	cache   Cache
+}
+
+// EngineOptions configure an Engine.
+type EngineOptions struct {
+	// Workers is the maximum number of concurrent simulations.  Zero (or
+	// negative) means runtime.NumCPU(); 1 forces serial execution.
+	Workers int
+	// Cache, when non-nil, is consulted before each run and updated after.
+	Cache Cache
+}
+
+// NewEngine constructs an engine.
+func NewEngine(opts EngineOptions) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return &Engine{workers: w, cache: opts.Cache}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run executes the jobs and returns their results in job order, regardless
+// of the completion order of the workers.  On failure it returns the partial
+// results together with the error of the lowest-indexed failing job, so the
+// reported error is deterministic too.
+func (e *Engine) Run(jobs []Job) ([]Result, error) {
+	return e.RunStream(jobs, nil)
+}
+
+// RunStream is Run with a streaming callback: onResult is invoked once per
+// finished job, in completion order (not job order), serialised by the
+// engine so the callback needs no locking.  The returned slice is still in
+// job order.
+func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		// Serial fast path: stop at the first error, like a plain loop.
+		for i := range jobs {
+			r, err := e.runJob(jobs[i])
+			if err != nil {
+				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
+			}
+			results[i] = r
+			if onResult != nil {
+				onResult(i, r)
+			}
+		}
+		return results, nil
+	}
+
+	indexes := make(chan int)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var cbMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				r, err := e.runJob(jobs[i])
+				if err != nil {
+					errs[i] = err
+					// Stop feeding new jobs; in-flight ones finish.
+					abortOnce.Do(func() { close(abort) })
+					continue
+				}
+				results[i] = r
+				if onResult != nil {
+					cbMu.Lock()
+					onResult(i, r)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case indexes <- i:
+		case <-abort:
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
+		}
+	}
+	return results, nil
+}
+
+// runJob executes (or recalls) a single job.
+func (e *Engine) runJob(j Job) (Result, error) {
+	start := time.Now()
+	if e.cache != nil && !j.KeepTaskStats {
+		if ent, ok := e.cache.Get(j.Key); ok {
+			return Result{Key: j.Key, Sim: ent.Sim, Derived: ent.Derived, Cached: true, Elapsed: time.Since(start)}, nil
+		}
+	}
+	if j.Build == nil {
+		return Result{}, fmt.Errorf("job has no build function")
+	}
+	d, err := j.Build()
+	if err != nil {
+		return Result{}, fmt.Errorf("build: %w", err)
+	}
+
+	opts := cmpsim.DefaultOptions()
+	if j.Options != nil {
+		opts = *j.Options
+	} else {
+		// Per-task stats cost per-task accounting on every simulated
+		// task; record them only when the job will actually consume them.
+		opts.RecordTaskStats = j.KeepTaskStats
+	}
+	if j.Derive != nil {
+		// Derivations read per-task stats.
+		opts.RecordTaskStats = true
+	}
+	var r *cmpsim.Result
+	if j.Scheduler == Sequential {
+		r, err = cmpsim.RunSequentialWithOptions(d, j.Config, opts)
+	} else {
+		var s sched.Scheduler
+		if s, err = sched.New(j.Scheduler); err != nil {
+			return Result{}, err
+		}
+		r, err = cmpsim.RunWithOptions(d, s, j.Config, opts)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	var derived map[string]int64
+	if j.Derive != nil {
+		if derived, err = j.Derive(d, r); err != nil {
+			return Result{}, fmt.Errorf("derive: %w", err)
+		}
+	}
+	if !j.KeepTaskStats {
+		r.TaskStats = nil
+		if e.cache != nil {
+			// Cache errors are deliberately non-fatal: a failed disk
+			// write only costs a future recomputation.
+			_ = e.cache.Put(Entry{Key: j.Key, Sim: r, Derived: derived})
+		}
+	}
+	return Result{Key: j.Key, Sim: r, Derived: derived, Elapsed: time.Since(start)}, nil
+}
+
+// DeriveLevelMisses aggregates shared-L2 misses by task level under keys
+// "level:<n>" — the per-merge-level picture of Figure 1.
+func DeriveLevelMisses(d *dag.DAG, r *cmpsim.Result) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for level, misses := range r.L2MissesByLevel(d) {
+		out[fmt.Sprintf("level:%d", level)] = misses
+	}
+	return out, nil
+}
+
+// LevelMisses decodes the "level:<n>" keys written by DeriveLevelMisses.
+func LevelMisses(derived map[string]int64) map[int]int64 {
+	out := make(map[int]int64)
+	for k, v := range derived {
+		var level int
+		if _, err := fmt.Sscanf(k, "level:%d", &level); err == nil {
+			out[level] = v
+		}
+	}
+	return out
+}
+
+// SummaryRow aggregates the results of one (workload, scheduler) series.
+type SummaryRow struct {
+	Workload    string
+	Scheduler   string
+	Runs        int
+	CacheHits   int
+	TotalCycles int64
+	// BestCycles/BestConfig identify the fastest point of the series (the
+	// design-point question of §5.2).
+	BestCycles  int64
+	BestConfig  string
+	MeanMemUtil float64
+}
+
+// Aggregator accumulates results into per-(workload, scheduler) summaries.
+// Add may be called from RunStream's callback; Rows returns a
+// deterministically sorted snapshot.
+type Aggregator struct {
+	mu   sync.Mutex
+	rows map[string]*SummaryRow
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{rows: make(map[string]*SummaryRow)}
+}
+
+// Add folds one result into the aggregate.
+func (a *Aggregator) Add(r Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := r.Key.Workload + "\x00" + r.Key.Scheduler
+	row, ok := a.rows[k]
+	if !ok {
+		row = &SummaryRow{Workload: r.Key.Workload, Scheduler: r.Key.Scheduler}
+		a.rows[k] = row
+	}
+	row.Runs++
+	if r.Cached {
+		row.CacheHits++
+	}
+	if r.Sim != nil {
+		row.TotalCycles += r.Sim.Cycles
+		if row.BestCycles == 0 || r.Sim.Cycles < row.BestCycles {
+			row.BestCycles = r.Sim.Cycles
+			row.BestConfig = r.Sim.Config.Name
+		}
+		// Incremental mean keeps Add O(1).
+		row.MeanMemUtil += (r.Sim.MemUtilization - row.MeanMemUtil) / float64(row.Runs)
+	}
+}
+
+// Rows returns the summaries sorted by workload then scheduler.
+func (a *Aggregator) Rows() []SummaryRow {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SummaryRow, 0, len(a.rows))
+	for _, r := range a.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Scheduler < out[j].Scheduler
+	})
+	return out
+}
