@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench-quick ci clean
+.PHONY: all build test vet fmt-check lint bench-quick ci clean
 
 all: build
 
@@ -13,13 +13,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the offending files) if any file is not gofmt'd.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: fmt-check vet
+
 # The full benchmark suite at quick scale: one iteration per benchmark so
 # the figure benchmarks, the sweep-engine serial/parallel/cached trio and
 # the simulator micro-benchmarks all report without taking minutes.
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build vet test
+ci: build lint test
 
 clean:
 	$(GO) clean ./...

@@ -222,3 +222,38 @@ func BenchmarkSimulateMergesortWS(b *testing.B) {
 		}
 	}
 }
+
+// Topology benchmarks: the same Mergesort simulation on each cache
+// topology.  The access path is the simulator's hot loop, so these track
+// both the cost of the topology indirection (shared must stay at parity
+// with the pre-topology simulator) and the relative simulation cost of
+// sliced machines.  The reported metric is the aggregate L2 MPKI, tying the
+// perf trajectory to the machine-model shape.
+
+func benchmarkSimulateTopology(b *testing.B, topo CacheTopology) {
+	b.Helper()
+	d := simFixture(b)
+	cfg := DefaultConfig(8).Scaled(DefaultScale * 8).WithTopology(topo)
+	var mpki float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cmpsim.Run(d, sched.NewPDF(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpki = res.L2MissesPerKiloInstr()
+	}
+	b.ReportMetric(mpki, "L2-MPKI")
+}
+
+func BenchmarkSimulateMergesortSharedL2(b *testing.B) {
+	benchmarkSimulateTopology(b, SharedTopology())
+}
+
+func BenchmarkSimulateMergesortClusteredL2(b *testing.B) {
+	benchmarkSimulateTopology(b, ClusteredTopology(4))
+}
+
+func BenchmarkSimulateMergesortPrivateL2(b *testing.B) {
+	benchmarkSimulateTopology(b, PrivateTopology())
+}

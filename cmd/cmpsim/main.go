@@ -5,10 +5,14 @@
 //
 //	cmpsim -workload mergesort -cores 8 -sched pdf
 //	cmpsim -workload hashjoin -cores 16 -sched ws -table 45nm
+//	cmpsim -workload mergesort -cores 8 -sched pdf -topology private
+//	cmpsim -workload mergesort -cores 16 -topology clustered:4 -compare
 //	cmpsim -workload mergesort -cores 32 -sched pdf -compare
 //
-// The -compare flag runs both PDF and WS (plus the sequential baseline) and
-// prints a side-by-side comparison.
+// The -topology flag selects how the L2 capacity is organised: shared (one
+// L2 for all cores, the paper's machine), private (one slice per core) or
+// clustered:<k> (k cores per slice).  The -compare flag runs both PDF and WS
+// (plus the sequential baseline) and prints a side-by-side comparison.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"cmpsched/internal/cache"
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
@@ -32,16 +37,21 @@ func main() {
 		scale        = flag.Int64("scale", config.DefaultScale, "capacity scale factor (1 = paper-sized caches)")
 		l2Hit        = flag.Int64("l2hit", 0, "override L2 hit latency in cycles (0 = table value)")
 		memLat       = flag.Int64("memlat", 0, "override main-memory latency in cycles (0 = table value)")
+		topology     = flag.String("topology", "shared", "cache topology: shared, private or clustered:<k> (k cores per L2 slice)")
 		compare      = flag.Bool("compare", false, "run PDF, WS and the sequential baseline and compare")
 		taskWS       = flag.Int64("taskws", 0, "mergesort task working-set bytes (0 = default)")
 	)
 	flag.Parse()
 
+	topo, err := cache.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
 	cfg, err := lookupConfig(*table, *cores)
 	if err != nil {
 		fatal(err)
 	}
-	cfg = cfg.Scaled(*scale)
+	cfg = cfg.Scaled(*scale).WithTopology(topo)
 	if *l2Hit > 0 {
 		cfg = cfg.WithL2HitLatency(*l2Hit)
 	}
@@ -59,9 +69,13 @@ func main() {
 	}
 	stats := d.ComputeStats()
 	fmt.Printf("workload %s: %s\n", w.Name(), stats)
+	slices := cfg.Topology.Slices(cfg.Cores)
+	slice := cfg.Topology.SliceConfig(cfg.L2, cfg.Cores)
 	fmt.Printf("config   %s: %d cores, L2 %.1f KB (%d-way, %d-cycle hits), memory %d/%d cycles\n",
 		cfg.Name, cfg.Cores, float64(cfg.L2.SizeBytes)/1024, cfg.L2.Assoc, cfg.L2.HitLatency,
 		cfg.Memory.LatencyCycles, cfg.Memory.ServiceIntervalCycles)
+	fmt.Printf("topology %s: %d L2 slice(s) of %.1f KB (%d-cycle hits)\n",
+		cfg.Topology, slices, float64(slice.SizeBytes)/1024, slice.HitLatency)
 
 	if *compare {
 		runCompare(d, cfg)
@@ -129,6 +143,12 @@ func printResult(res *cmpsim.Result) {
 	fmt.Printf("memory references    %d\n", res.Refs)
 	fmt.Printf("L1 miss rate         %.2f%%\n", res.L1.MissRate()*100)
 	fmt.Printf("L2 misses            %d (%.3f per 1000 instructions)\n", res.L2.Misses, res.L2MissesPerKiloInstr())
+	if len(res.L2Slices) > 1 {
+		for i, s := range res.L2Slices {
+			fmt.Printf("L2 slice %-2d          %d accesses, %d misses (%.2f%% miss rate), %d queue cycles off-chip\n",
+				i, s.Accesses, s.Misses, s.MissRate()*100, res.MemPorts[i].QueueCycles)
+		}
+	}
 	fmt.Printf("off-chip transfers   %d (%d fetches, %d write-backs)\n", res.Mem.Transfers(), res.Mem.Fetches, res.Mem.Writebacks)
 	fmt.Printf("memory utilization   %.1f%%\n", res.MemUtilization*100)
 	fmt.Printf("core utilization     %.1f%%\n", res.AvgCoreUtilization()*100)

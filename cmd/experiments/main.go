@@ -7,8 +7,11 @@
 //	experiments -experiment fig6 -quick    # reduced inputs (seconds)
 //
 // Available experiments: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain,
-// profiler, all.  Output is printed as aligned text tables; EXPERIMENTS.md
-// records a full run next to the paper's numbers.
+// profiler, topology, all.  Output is printed as aligned text tables;
+// EXPERIMENTS.md records a full run next to the paper's numbers.  The
+// topology experiment is not a paper figure: it evaluates the paper's
+// shared-vs-private premise by rerunning PDF vs WS with the L2 organised as
+// shared, clustered and per-core private slices.
 package main
 
 import (
@@ -39,12 +42,13 @@ func runners() []runner {
 		{"fig8", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Figure8(o) }},
 		{"grain", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Granularity(o) }},
 		{"profiler", func(o experiments.Options) (fmt.Stringer, error) { return experiments.ProfilerComparison(o) }},
+		{"topology", func(o experiments.Options) (fmt.Stringer, error) { return experiments.TopologyComparison(o) }},
 	}
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler or all")
+		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology or all")
 		quick = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
 		scale = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
 	)

@@ -7,6 +7,7 @@
 //
 //	sweep -workloads mergesort,hashjoin                 # PDF vs WS, Table 2
 //	sweep -tables 45nm -cores 2,8,18,26 -quick          # a Figure 3 slice
+//	sweep -topology shared,private,clustered:4 -quick   # cache-topology axis
 //	sweep -workloads lu -seq -format csv -o lu.csv      # with speedup baseline
 //	sweep -cache-dir .sweep-cache -workloads mergesort  # re-runs are instant
 //
@@ -35,6 +36,7 @@ func main() {
 		workloads  = flag.String("workloads", "mergesort,hashjoin,lu", "comma-separated workloads: "+strings.Join(workload.Names(), ", "))
 		schedulers = flag.String("schedulers", "pdf,ws", "comma-separated schedulers: pdf, ws, fifo")
 		tables     = flag.String("tables", sweep.TableDefault, "configuration tables: default (Table 2), 45nm (Table 3)")
+		topology   = flag.String("topology", "shared", "comma-separated cache topologies: shared, private, clustered:<k>")
 		cores      = flag.String("cores", "", "comma-separated core counts (empty = all the tables define)")
 		scale      = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
 		quick      = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
@@ -57,6 +59,7 @@ func main() {
 		Workloads:  splitList(*workloads),
 		Schedulers: splitList(*schedulers),
 		Tables:     splitList(*tables),
+		Topologies: splitList(*topology),
 		Scale:      *scale,
 		Quick:      *quick,
 		Sequential: *seq,
@@ -136,10 +139,11 @@ func cachedTag(r sweep.Result) string {
 
 // printTables renders every result as one aligned row.
 func printTables(w *os.File, results []sweep.Result) {
-	t := stats.NewTable("workload", "sched", "config", "cores", "cycles", "L2 misses/Ki", "mem util %", "cached")
+	t := stats.NewTable("workload", "sched", "config", "topology", "cores", "cycles", "L2 misses/Ki", "mem util %", "cached")
 	for _, r := range results {
 		t.AddRow(
 			r.Key.Workload, r.Key.Scheduler, r.Sim.Config.Name,
+			r.Sim.Config.Topology.String(),
 			strconv.Itoa(r.Sim.Config.Cores),
 			strconv.FormatInt(r.Sim.Cycles, 10),
 			fmt.Sprintf("%.3f", r.Sim.L2MissesPerKiloInstr()),

@@ -7,9 +7,10 @@
 //     internal/refs),
 //   - the Parallel Depth First (PDF) and Work Stealing (WS) schedulers
 //     (internal/sched),
-//   - an event-driven CMP simulator with private L1s, a shared L2 and a
-//     bandwidth-limited memory system (internal/cmpsim, internal/cache,
-//     internal/memsys),
+//   - an event-driven CMP simulator with private L1s, a pluggable L2
+//     topology (shared, per-core private or clustered slices) and a
+//     bandwidth-limited memory system every slice arbitrates for
+//     (internal/cmpsim, internal/cache, internal/memsys),
 //   - the paper's CMP configuration tables (internal/config),
 //   - the benchmark workloads: Mergesort, Hash Join, LU, Matrix Multiply,
 //     Quicksort and a Heat stencil (internal/workload),
@@ -33,6 +34,7 @@
 package cmpsched
 
 import (
+	"cmpsched/internal/cache"
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/coarsen"
 	"cmpsched/internal/config"
@@ -65,6 +67,11 @@ type (
 
 	// CMPConfig is a machine configuration (cores, caches, memory).
 	CMPConfig = config.CMP
+	// CacheTopology describes how the L2 capacity is organised: one shared
+	// cache (the paper's machine), per-core private slices, or clustered
+	// slices of k cores each.  See SharedTopology, PrivateTopology,
+	// ClusteredTopology and CMPConfig.WithTopology.
+	CacheTopology = cache.Topology
 	// SimResult summarises one simulation run.
 	SimResult = cmpsim.Result
 	// SimOptions controls a simulation run.
@@ -133,6 +140,23 @@ func NewWS() Scheduler { return sched.NewWS() }
 
 // NewScheduler constructs a scheduler by name ("pdf", "ws" or "fifo").
 func NewScheduler(name string) (Scheduler, error) { return sched.New(name) }
+
+// SharedTopology returns the shared-L2 topology (the paper's machine, and
+// the default for every configuration).
+func SharedTopology() CacheTopology { return cache.Shared() }
+
+// PrivateTopology returns the private-L2-per-core topology: the total L2
+// capacity split into one slice per core.
+func PrivateTopology() CacheTopology { return cache.Private() }
+
+// ClusteredTopology returns the topology with k cores sharing each L2
+// slice; k=1 degenerates to private and k>=P to shared.
+func ClusteredTopology(k int) CacheTopology { return cache.Clustered(k) }
+
+// ParseTopology decodes the canonical topology encodings "shared",
+// "private" and "clustered:<k>" (the forms accepted by the -topology flags
+// of cmd/cmpsim and cmd/sweep).
+func ParseTopology(s string) (CacheTopology, error) { return cache.ParseTopology(s) }
 
 // DefaultConfig returns the Table 2 (scaling-technology) configuration with
 // the given core count (1, 2, 4, 8, 16 or 32). It panics on unknown counts;
@@ -266,4 +290,8 @@ var (
 	Figure8            = experiments.Figure8
 	GranularityStudy   = experiments.Granularity
 	ProfilerComparison = experiments.ProfilerComparison
+	// TopologyComparison evaluates the paper's shared-vs-private premise:
+	// PDF vs WS with the L2 organised as shared, clustered and per-core
+	// private slices (not a paper figure; see EXPERIMENTS.md).
+	TopologyComparison = experiments.TopologyComparison
 )

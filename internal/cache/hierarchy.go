@@ -26,14 +26,21 @@ func (l Level) String() string {
 	}
 }
 
-// HierarchyConfig configures a private-L1 / shared-L2 hierarchy.
+// HierarchyConfig configures a private-L1 / sliced-L2 hierarchy.  The zero
+// Topology is the shared topology, so existing shared-L2 configurations are
+// unchanged.
 type HierarchyConfig struct {
 	// Cores is the number of private L1 caches.
 	Cores int
 	// L1 is the per-core L1 configuration.
 	L1 Config
-	// L2 is the shared L2 configuration.
+	// L2 is the *total* L2 configuration; the topology divides it into
+	// slices (see Topology.SliceConfig).
 	L2 Config
+	// Topology partitions the L2 capacity into slices and maps cores onto
+	// them: shared (one slice, the paper's machine), private (one slice per
+	// core) or clustered (ClusterSize cores per slice).
+	Topology Topology
 	// WriteInvalidate enables a simple directory that invalidates other
 	// cores' L1 copies when a core writes a line.  It affects only
 	// coherence statistics, not timing.
@@ -44,6 +51,10 @@ type HierarchyConfig struct {
 type HierarchyAccess struct {
 	// Level is the level that satisfied the access (L1, L2, or memory).
 	Level Level
+	// Slice is the index of the L2 slice serving the accessing core (0 for
+	// the shared topology).  Callers use it to charge the slice's hit
+	// latency and to attribute off-chip traffic to the slice's port.
+	Slice int
 	// OffChipTransfers is the number of off-chip line transfers triggered:
 	// 1 for the fetch when the access missed in L2, plus 1 if a dirty L2
 	// victim must be written back.
@@ -56,13 +67,16 @@ type HierarchyAccess struct {
 	Invalidations int
 }
 
-// Hierarchy is a private-L1, shared-L2 cache hierarchy.
+// Hierarchy is a private-L1, sliced-L2 cache hierarchy.  With the shared
+// topology (one slice) it is exactly the paper's machine.
 type Hierarchy struct {
-	cfg  HierarchyConfig
-	l1s  []*Cache
-	l2   *Cache
-	dir  map[uint64]uint64 // line -> bitmask of cores with an L1 copy
-	invs int64
+	cfg      HierarchyConfig
+	l1s      []*Cache
+	l2s      []*Cache
+	sliceOf  []int // core -> L2 slice index
+	sliceCfg Config
+	dir      map[uint64]uint64 // line -> bitmask of cores with an L1 copy
+	invs     int64
 }
 
 // NewHierarchy builds the hierarchy.
@@ -73,6 +87,9 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	if cfg.Cores > 64 {
 		return nil, fmt.Errorf("cache: hierarchy supports at most 64 cores, got %d", cfg.Cores)
 	}
+	if err := cfg.Topology.Validate(cfg.Cores); err != nil {
+		return nil, err
+	}
 	h := &Hierarchy{cfg: cfg}
 	for i := 0; i < cfg.Cores; i++ {
 		l1, err := New(cfg.L1)
@@ -81,11 +98,19 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		}
 		h.l1s = append(h.l1s, l1)
 	}
-	l2, err := New(cfg.L2)
-	if err != nil {
-		return nil, fmt.Errorf("cache: L2: %w", err)
+	h.sliceCfg = cfg.Topology.SliceConfig(cfg.L2, cfg.Cores)
+	slices := cfg.Topology.Slices(cfg.Cores)
+	for i := 0; i < slices; i++ {
+		l2, err := New(h.sliceCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L2 slice[%d]: %w", i, err)
+		}
+		h.l2s = append(h.l2s, l2)
 	}
-	h.l2 = l2
+	h.sliceOf = make([]int, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		h.sliceOf[c] = cfg.Topology.SliceOf(c, cfg.Cores)
+	}
 	if cfg.WriteInvalidate {
 		h.dir = make(map[uint64]uint64)
 	}
@@ -98,8 +123,22 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // L1 returns core's private L1 cache.
 func (h *Hierarchy) L1(core int) *Cache { return h.l1s[core] }
 
-// L2 returns the shared L2 cache.
-func (h *Hierarchy) L2() *Cache { return h.l2 }
+// L2 returns the first L2 slice; with the shared topology this is the one
+// shared L2 cache.
+func (h *Hierarchy) L2() *Cache { return h.l2s[0] }
+
+// NumSlices returns the number of L2 slices.
+func (h *Hierarchy) NumSlices() int { return len(h.l2s) }
+
+// L2Slice returns the i-th L2 slice.
+func (h *Hierarchy) L2Slice(i int) *Cache { return h.l2s[i] }
+
+// SliceOf returns the L2 slice index serving core.
+func (h *Hierarchy) SliceOf(core int) int { return h.sliceOf[core] }
+
+// SliceConfig returns the per-slice L2 configuration (capacity and latency
+// already divided by the topology).
+func (h *Hierarchy) SliceConfig() Config { return h.sliceCfg }
 
 // Invalidations returns the total number of coherence invalidations.
 func (h *Hierarchy) Invalidations() int64 { return h.invs }
@@ -109,8 +148,10 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 	if core < 0 || core >= len(h.l1s) {
 		panic(fmt.Sprintf("cache: access from unknown core %d", core))
 	}
-	out := HierarchyAccess{}
+	slice := h.sliceOf[core]
+	out := HierarchyAccess{Slice: slice}
 	l1 := h.l1s[core]
+	l2 := h.l2s[slice]
 	line := addr - addr%uint64(h.cfg.L2.LineBytes)
 
 	r1 := l1.Access(addr, write)
@@ -123,25 +164,28 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 		return out
 	}
 
-	// An L1 dirty victim is written back into the shared L2 (on-chip
+	// An L1 dirty victim is written back into the core's L2 slice (on-chip
 	// traffic only).
 	if r1.Evicted && r1.EvictedDirty {
-		wb := h.l2.Access(r1.EvictedAddr, true)
+		wb := l2.Access(r1.EvictedAddr, true)
 		if wb.Evicted && wb.EvictedDirty {
 			out.OffChipTransfers++
 		}
 	}
 
-	r2 := h.l2.Access(addr, write)
+	r2 := l2.Access(addr, write)
 	out.L2Evicted = r2.Evicted
 	if r2.Evicted {
-		// Inclusive L2: drop any stale L1 copies of the victim line so
-		// the model never holds lines absent from L2.
-		for _, l1c := range h.l1s {
-			l1c.Invalidate(r2.EvictedAddr)
+		// Inclusive L2 slices: drop any stale L1 copies of the victim line
+		// held by the cores this slice serves, so the model never holds
+		// lines absent from their backing slice.
+		for c, l1c := range h.l1s {
+			if h.sliceOf[c] == slice {
+				l1c.Invalidate(r2.EvictedAddr)
+			}
 		}
 		if h.dir != nil {
-			delete(h.dir, r2.EvictedAddr)
+			h.dropDir(r2.EvictedAddr, slice)
 		}
 		if r2.EvictedDirty {
 			out.OffChipTransfers++
@@ -154,6 +198,25 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 	out.Level = LevelMemory
 	out.OffChipTransfers++
 	return out
+}
+
+// dropDir removes from the directory the L1 copies belonging to slice's
+// cores after an inclusive-L2 victim invalidation.
+func (h *Hierarchy) dropDir(line uint64, slice int) {
+	mask, ok := h.dir[line]
+	if !ok {
+		return
+	}
+	for c := range h.l1s {
+		if h.sliceOf[c] == slice {
+			mask &^= 1 << uint(c)
+		}
+	}
+	if mask == 0 {
+		delete(h.dir, line)
+	} else {
+		h.dir[line] = mask
+	}
 }
 
 // trackL1 maintains the write-invalidate directory.
@@ -198,14 +261,32 @@ func (h *Hierarchy) L1Stats() Stats {
 	return total
 }
 
-// L2Stats returns the shared L2 statistics.
-func (h *Hierarchy) L2Stats() Stats { return h.l2.Stats() }
+// L2Stats returns the aggregate L2 statistics over all slices (for the
+// shared topology this is the single shared L2's statistics, as before).
+func (h *Hierarchy) L2Stats() Stats {
+	var total Stats
+	for _, c := range h.l2s {
+		total.Add(c.Stats())
+	}
+	return total
+}
+
+// L2SliceStats returns a copy of each slice's statistics, indexed by slice.
+func (h *Hierarchy) L2SliceStats() []Stats {
+	out := make([]Stats, len(h.l2s))
+	for i, c := range h.l2s {
+		out[i] = c.Stats()
+	}
+	return out
+}
 
 // ResetStats clears statistics on every cache.
 func (h *Hierarchy) ResetStats() {
 	for _, c := range h.l1s {
 		c.ResetStats()
 	}
-	h.l2.ResetStats()
+	for _, c := range h.l2s {
+		c.ResetStats()
+	}
 	h.invs = 0
 }

@@ -3,9 +3,12 @@
 //
 // The machine model follows the paper's methodology (§4.1): P in-order,
 // scalar cores (1 instruction per cycle when not stalled), per-core private
-// L1 caches, a shared L2 cache with a uniform configuration-dependent hit
-// latency, and an off-chip memory with a 300-cycle latency and a
-// bandwidth-limiting service interval of 30 cycles per line transfer.
+// L1 caches, an L2 organised by a pluggable topology (one shared cache — the
+// paper's machine — per-core private slices, or clustered slices; see
+// cache.Topology) with a configuration-dependent hit latency per slice, and
+// an off-chip memory with a 300-cycle latency and a bandwidth-limiting
+// service interval of 30 cycles per line transfer that every L2 slice
+// arbitrates for.
 //
 // Execution is event driven: each event is a core becoming ready to issue
 // its next memory reference (or to complete its current task).  Events are
@@ -73,10 +76,20 @@ type Result struct {
 	Refs int64
 	// L1 aggregates the private L1 statistics across cores.
 	L1 cache.Stats
-	// L2 is the shared L2 statistics.
+	// L2 aggregates the L2 statistics across every slice of the topology;
+	// with the shared topology it is the single shared L2's statistics,
+	// exactly as before the topology layer existed.
 	L2 cache.Stats
-	// Mem is the off-chip memory statistics.
+	// L2Slices holds the per-slice L2 statistics, indexed by slice (one
+	// entry for the shared topology, one per core for private, one per
+	// cluster for clustered).
+	L2Slices []cache.Stats
+	// Mem is the chip-level off-chip memory statistics.
 	Mem memsys.Stats
+	// MemPorts holds the per-slice off-chip port statistics from the
+	// bandwidth arbiter, indexed like L2Slices; QueueCycles attributes
+	// channel contention to the slice that suffered it.
+	MemPorts []memsys.Stats
 	// MemUtilization is the fraction of cycles the off-chip channel was
 	// busy (the paper's "memory bandwidth utilization").
 	MemUtilization float64
@@ -226,6 +239,12 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	// Every L2 slice arbitrates for the same off-chip channel (pins are a
+	// chip-level resource); the arbiter attributes queueing per slice.
+	arb, err := memsys.NewArbiter(mem, hier.NumSlices())
+	if err != nil {
+		return nil, err
+	}
 
 	d.ResetRefs()
 	n := d.NumTasks()
@@ -253,7 +272,9 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 
 	completed := 0
 	l1Lat := cfg.L1.HitLatency
-	l2Lat := cfg.L2.HitLatency
+	// The topology scales per-slice capacity and hit latency together; with
+	// the shared topology the slice latency is exactly cfg.L2.HitLatency.
+	l2Lat := hier.SliceConfig().HitLatency
 
 	// assign hands ready tasks to idle cores at time now, trying prefer
 	// first (the core that just completed a task), then the others in
@@ -326,14 +347,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 					// Dirty L2 victims displaced by an L1 write-back
 					// still consume off-chip bandwidth.
 					for i := 0; i < acc.OffChipTransfers; i++ {
-						mem.Writeback(issue)
+						arb.Writeback(acc.Slice, issue)
 					}
 				case cache.LevelMemory:
 					st.l2Misses++
 					for i := 1; i < acc.OffChipTransfers; i++ {
-						mem.Writeback(issue)
+						arb.Writeback(acc.Slice, issue)
 					}
-					done = mem.Fetch(issue + l1Lat + l2Lat)
+					done = arb.Fetch(acc.Slice, issue+l1Lat+l2Lat)
 				}
 				busyCycles[c] += done - now
 				push(done, c)
@@ -387,7 +408,9 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		Refs:           d.TotalRefs(),
 		L1:             hier.L1Stats(),
 		L2:             hier.L2Stats(),
+		L2Slices:       hier.L2SliceStats(),
 		Mem:            mem.Stats(),
+		MemPorts:       arb.PortStats(),
 		MemUtilization: mem.Utilization(now),
 		CoreBusyCycles: busyCycles,
 		TasksExecuted:  completed,

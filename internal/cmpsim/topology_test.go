@@ -1,0 +1,148 @@
+package cmpsim
+
+import (
+	"reflect"
+	"testing"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/config"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/workload"
+)
+
+// goldenCfg is the configuration the pre-topology golden numbers below were
+// captured on: Table 2's 8-core machine at capacity scale 32*16.
+func goldenCfg(t *testing.T) config.CMP {
+	t.Helper()
+	return config.MustDefault(8).Scaled(config.DefaultScale * 16)
+}
+
+func goldenMergesort(t *testing.T) *workload.MergesortConfig {
+	t.Helper()
+	return &workload.MergesortConfig{Elements: 1 << 14, TaskWorkingSetBytes: 2 << 10}
+}
+
+// TestSharedTopologyGoldenRegression pins the shared topology to the exact
+// pre-refactor simulator output (captured on the commit before the topology
+// layer was introduced).  Any cycle-level drift in the shared path is a
+// regression: the topology generalisation must be invisible at k = P.
+func TestSharedTopologyGoldenRegression(t *testing.T) {
+	cfg := goldenCfg(t)
+	golden := []struct {
+		sched          string
+		cycles         int64
+		l2Miss, l1Miss int64
+		fetches, wb    int64
+		queue          int64
+	}{
+		{"pdf", 786278, 8113, 18175, 8113, 3559, 464047},
+		{"ws", 872898, 9935, 18048, 9935, 3515, 614140},
+	}
+	for _, g := range golden {
+		d, _, err := workload.NewMergesort(*goldenMergesort(t)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.New(g.sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(d, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles != g.cycles || r.L2.Misses != g.l2Miss || r.L1.Misses != g.l1Miss ||
+			r.Mem.Fetches != g.fetches || r.Mem.Writebacks != g.wb || r.Mem.QueueCycles != g.queue {
+			t.Errorf("%s: got cycles=%d l2miss=%d l1miss=%d fetches=%d wb=%d queue=%d, want %+v",
+				g.sched, r.Cycles, r.L2.Misses, r.L1.Misses, r.Mem.Fetches, r.Mem.Writebacks, r.Mem.QueueCycles, g)
+		}
+	}
+}
+
+// TestZeroTopologyEqualsExplicitShared checks that the zero-value topology
+// and an explicit shared topology produce identical results.
+func TestZeroTopologyEqualsExplicitShared(t *testing.T) {
+	base := goldenCfg(t)
+	shared := base.WithTopology(cache.Shared())
+	var results []*Result
+	for _, cfg := range []config.CMP{base, shared} {
+		d, _, err := workload.NewMergesort(*goldenMergesort(t)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(d, sched.NewPDF(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Config = config.CMP{} // names differ only if topology was recorded
+		results = append(results, r)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Errorf("zero-value topology result differs from explicit shared:\n%+v\nvs\n%+v", results[0], results[1])
+	}
+}
+
+// TestTopologySliceAccounting checks the per-slice bookkeeping invariants on
+// every topology: slice stats sum to the aggregate, port stats sum to the
+// chip-level memory stats, and the slice count matches the topology.
+func TestTopologySliceAccounting(t *testing.T) {
+	for _, topo := range []cache.Topology{
+		cache.Shared(), cache.Private(), cache.Clustered(2), cache.Clustered(4), cache.Clustered(3),
+	} {
+		t.Run(topo.String(), func(t *testing.T) {
+			cfg := goldenCfg(t).WithTopology(topo)
+			d, _, err := workload.NewMergesort(*goldenMergesort(t)).Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Run(d, sched.NewPDF(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := topo.Slices(cfg.Cores); len(r.L2Slices) != want || len(r.MemPorts) != want {
+				t.Fatalf("got %d L2 slice stats and %d mem ports, want %d", len(r.L2Slices), len(r.MemPorts), want)
+			}
+			var l2 cache.Stats
+			for _, s := range r.L2Slices {
+				l2.Add(s)
+			}
+			if l2 != r.L2 {
+				t.Errorf("per-slice L2 stats sum %+v != aggregate %+v", l2, r.L2)
+			}
+			var fetches, wbs, queue, busy int64
+			for _, p := range r.MemPorts {
+				fetches += p.Fetches
+				wbs += p.Writebacks
+				queue += p.QueueCycles
+				busy += p.BusyCycles
+			}
+			if fetches != r.Mem.Fetches || wbs != r.Mem.Writebacks || queue != r.Mem.QueueCycles || busy != r.Mem.BusyCycles {
+				t.Errorf("port stats sum (f=%d wb=%d q=%d b=%d) != chip-level %+v", fetches, wbs, queue, busy, r.Mem)
+			}
+		})
+	}
+}
+
+// TestPrivateTopologyIncreasesMisses checks the capacity consequence the
+// topology exists to model: splitting the L2 into per-core slices must not
+// decrease misses for a working set that exceeds one slice, and the gap
+// between PDF and WS misses must shrink (relative to WS) when sharing is
+// impossible — the paper's central shared-vs-private claim.
+func TestPrivateTopologyIncreasesMisses(t *testing.T) {
+	miss := func(topo cache.Topology, s sched.Scheduler) int64 {
+		d, _, err := workload.NewMergesort(*goldenMergesort(t)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(d, s, goldenCfg(t).WithTopology(topo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.L2.Misses
+	}
+	sharedPDF := miss(cache.Shared(), sched.NewPDF())
+	privatePDF := miss(cache.Private(), sched.NewPDF())
+	if privatePDF < sharedPDF {
+		t.Errorf("private L2 slices produced fewer PDF misses (%d) than the shared L2 (%d)", privatePDF, sharedPDF)
+	}
+}

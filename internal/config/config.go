@@ -9,6 +9,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"cmpsched/internal/cache"
 	"cmpsched/internal/memsys"
@@ -67,8 +68,17 @@ type CMP struct {
 	TechnologyNM int
 	// L1 is the per-core private L1 configuration.
 	L1 cache.Config
-	// L2 is the shared L2 configuration.
+	// L2 is the total on-chip L2 configuration.  Topology decides how that
+	// capacity is organised (one shared cache, per-core private slices, or
+	// clustered slices).
 	L2 cache.Config
+	// Topology partitions the L2 among the cores.  The zero value is the
+	// shared topology — the paper's machine — so the configuration tables
+	// behave exactly as before the topology layer existed.  Its canonical
+	// string form ("shared", "private", "clustered:<k>") is part of the
+	// configuration's fingerprint, so sweep content-address keys always
+	// distinguish topologies.
+	Topology cache.Topology
 	// Memory is the off-chip memory configuration.
 	Memory memsys.Config
 	// Scale records the factor by which capacities were divided relative
@@ -86,6 +96,12 @@ func (c CMP) Validate() error {
 	}
 	if err := c.L2.Validate(); err != nil {
 		return fmt.Errorf("config: %s: L2: %w", c.Name, err)
+	}
+	if err := c.Topology.Validate(c.Cores); err != nil {
+		return fmt.Errorf("config: %s: topology: %w", c.Name, err)
+	}
+	if err := c.Topology.SliceConfig(c.L2, c.Cores).Validate(); err != nil {
+		return fmt.Errorf("config: %s: L2 slice (%s): %w", c.Name, c.Topology, err)
 	}
 	if err := c.Memory.Validate(); err != nil {
 		return fmt.Errorf("config: %s: memory: %w", c.Name, err)
@@ -106,6 +122,20 @@ func (c CMP) Scaled(factor int64) CMP {
 	out.Scale = c.Scale * factor
 	out.L1.SizeBytes = maxInt64(c.L1.SizeBytes/factor, c.L1.LineBytes*int64(c.L1.Assoc))
 	out.L2.SizeBytes = maxInt64(c.L2.SizeBytes/factor, c.L2.LineBytes*int64(c.L2.Assoc))
+	return out
+}
+
+// WithTopology returns a copy with the cache topology replaced.  Non-shared
+// topologies are recorded in the name (any previous topology suffix is
+// replaced, never stacked); selecting the shared topology restores the
+// canonical table name.
+func (c CMP) WithTopology(t cache.Topology) CMP {
+	out := c
+	out.Name = strings.TrimSuffix(c.Name, "/"+c.Topology.String())
+	out.Topology = t
+	if t.Kind != cache.TopologyShared {
+		out.Name = fmt.Sprintf("%s/%s", out.Name, t)
+	}
 	return out
 }
 
@@ -131,9 +161,10 @@ func (c CMP) WithMemLatency(cycles int64) CMP {
 // configuration consumed by the simulator.
 func (c CMP) HierarchyConfig() cache.HierarchyConfig {
 	return cache.HierarchyConfig{
-		Cores: c.Cores,
-		L1:    c.L1,
-		L2:    c.L2,
+		Cores:    c.Cores,
+		L1:       c.L1,
+		L2:       c.L2,
+		Topology: c.Topology,
 	}
 }
 

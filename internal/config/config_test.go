@@ -1,6 +1,12 @@
 package config
 
-import "testing"
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cmpsched/internal/cache"
+)
 
 func TestCommonParamsTable1(t *testing.T) {
 	c := CommonParams()
@@ -189,6 +195,61 @@ func TestMustPanics(t *testing.T) {
 		}
 	}()
 	MustDefault(7)
+}
+
+func TestWithTopology(t *testing.T) {
+	base := MustDefault(8)
+	if base.Topology != cache.Shared() {
+		t.Fatalf("table configurations must default to the shared topology, got %v", base.Topology)
+	}
+
+	priv := base.WithTopology(cache.Private())
+	if priv.Topology != cache.Private() {
+		t.Errorf("WithTopology did not set the topology")
+	}
+	if priv.Name != "default-8core/private" {
+		t.Errorf("private name = %q", priv.Name)
+	}
+	if priv.L2 != base.L2 || priv.Cores != base.Cores {
+		t.Errorf("WithTopology changed unrelated fields")
+	}
+	if err := priv.Validate(); err != nil {
+		t.Errorf("private config invalid: %v", err)
+	}
+
+	// Re-selecting shared keeps the canonical name.
+	if got := base.WithTopology(cache.Shared()); got.Name != base.Name {
+		t.Errorf("shared topology renamed the config to %q", got.Name)
+	}
+
+	// Re-applying a topology replaces the name suffix, never stacks or
+	// strands it.
+	if got := priv.WithTopology(cache.Shared()); got.Name != base.Name || got.Topology != cache.Shared() {
+		t.Errorf("shared-after-private = %q (%v), want %q", got.Name, got.Topology, base.Name)
+	}
+	if got := priv.WithTopology(cache.Clustered(2)); got.Name != base.Name+"/clustered:2" {
+		t.Errorf("clustered-after-private name = %q", got.Name)
+	}
+
+	// The canonical topology encoding is part of the configuration
+	// fingerprint used by sweep content-address keys.
+	for _, topo := range []cache.Topology{cache.Shared(), cache.Private(), cache.Clustered(4)} {
+		fp := fmt.Sprintf("%+v", base.WithTopology(topo))
+		if !strings.Contains(fp, topo.String()) {
+			t.Errorf("fingerprint for %v does not contain %q: %s", topo, topo.String(), fp)
+		}
+	}
+
+	// HierarchyConfig threads the topology through to the cache layer.
+	if hc := priv.HierarchyConfig(); hc.Topology != cache.Private() {
+		t.Errorf("HierarchyConfig dropped the topology: %+v", hc)
+	}
+
+	// Validate rejects topologies whose slices would be invalid.
+	bad := base.WithTopology(cache.Clustered(0))
+	if err := bad.Validate(); err == nil {
+		t.Errorf("accepted cluster size 0")
+	}
 }
 
 func TestAreaModel(t *testing.T) {

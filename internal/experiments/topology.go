@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
+)
+
+// TopologyRow is one point of the cache-topology comparison: one benchmark
+// on one core count, one L2 topology and one scheduler.
+type TopologyRow struct {
+	Workload  string
+	Cores     int
+	Topology  string
+	Scheduler string
+	// Cycles is the parallel execution time.
+	Cycles int64
+	// L2MissesPerKiloInstr is the paper's primary cache metric, aggregated
+	// over every L2 slice of the topology.
+	L2MissesPerKiloInstr float64
+	// MemUtilization is the off-chip bandwidth utilisation.
+	MemUtilization float64
+	// MaxSliceQueueCycles is the largest per-slice off-chip queueing delay,
+	// exposing bandwidth hot spots among slices.
+	MaxSliceQueueCycles int64
+}
+
+// TopologyResult holds every row of the topology comparison.
+type TopologyResult struct {
+	Rows  []TopologyRow
+	Scale int64
+}
+
+// TopologyComparisonTopologies lists the topologies the comparison
+// evaluates, from fully shared to fully private.
+func TopologyComparisonTopologies() []cache.Topology {
+	return []cache.Topology{cache.Shared(), cache.Clustered(4), cache.Clustered(2), cache.Private()}
+}
+
+// TopologyComparison evaluates the paper's shared-vs-private design axis:
+// PDF and WS on the same total L2 capacity organised as one shared cache
+// (the paper's machine), clustered slices, and per-core private slices.
+// The paper's argument (§1, §7) is that PDF's constructive cache sharing
+// needs a *shared* L2: co-scheduled tasks overlap their working sets in one
+// cache.  With private slices no scheduler can make tasks share capacity,
+// so the PDF-over-WS L2-MPKI advantage visible on the shared topology
+// collapses — which is exactly what this comparison shows.
+func TopologyComparison(opts Options) (*TopologyResult, error) {
+	res := &TopologyResult{Scale: opts.effectiveScale()}
+	type point struct {
+		wl    string
+		cores int
+		topo  string
+	}
+	var g grid[point]
+	for _, wl := range Figure2Workloads() {
+		for _, cores := range opts.coresOrDefault([]int{8}) {
+			if wl == "lu" && cores > 16 {
+				continue
+			}
+			base, err := opts.scaledDefault(cores)
+			if err != nil {
+				return nil, err
+			}
+			for _, topo := range TopologyComparisonTopologies() {
+				cfg := base.WithTopology(topo)
+				jobs, err := opts.schedulerJobs(wl, cfg, false)
+				if err != nil {
+					return nil, err
+				}
+				g.add(point{wl, cores, topo.String()}, jobs...)
+			}
+		}
+	}
+	err := runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		for i, sc := range []string{"pdf", "ws"} {
+			sim := rs[i].Sim
+			var maxQueue int64
+			for _, p := range sim.MemPorts {
+				if p.QueueCycles > maxQueue {
+					maxQueue = p.QueueCycles
+				}
+			}
+			res.Rows = append(res.Rows, TopologyRow{
+				Workload: pt.wl, Cores: pt.cores, Topology: pt.topo, Scheduler: sc,
+				Cycles:               sim.Cycles,
+				L2MissesPerKiloInstr: sim.L2MissesPerKiloInstr(),
+				MemUtilization:       sim.MemUtilization,
+				MaxSliceQueueCycles:  maxQueue,
+			})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("topology comparison: %w", err)
+	}
+	return res, nil
+}
+
+// Row returns the row for a workload/cores/topology/scheduler combination,
+// or nil.
+func (r *TopologyResult) Row(workload string, cores int, topology, scheduler string) *TopologyRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Workload == workload && row.Cores == cores && row.Topology == topology && row.Scheduler == scheduler {
+			return row
+		}
+	}
+	return nil
+}
+
+// RelativeSpeedup returns the PDF-over-WS speedup (WS cycles / PDF cycles)
+// on one topology, or 0 if missing.
+func (r *TopologyResult) RelativeSpeedup(workload string, cores int, topology string) float64 {
+	pdf := r.Row(workload, cores, topology, "pdf")
+	ws := r.Row(workload, cores, topology, "ws")
+	if pdf == nil || ws == nil || pdf.Cycles == 0 {
+		return 0
+	}
+	return float64(ws.Cycles) / float64(pdf.Cycles)
+}
+
+// MissReductionPercent returns the relative reduction in L2 misses per 1000
+// instructions of PDF vs WS on one topology, in percent.  Positive means
+// PDF misses less; near zero means the topology gives PDF nothing to win.
+func (r *TopologyResult) MissReductionPercent(workload string, cores int, topology string) float64 {
+	pdf := r.Row(workload, cores, topology, "pdf")
+	ws := r.Row(workload, cores, topology, "ws")
+	if pdf == nil || ws == nil || ws.L2MissesPerKiloInstr == 0 {
+		return 0
+	}
+	return (ws.L2MissesPerKiloInstr - pdf.L2MissesPerKiloInstr) / ws.L2MissesPerKiloInstr * 100
+}
+
+// GapCollapse returns the shared-topology PDF miss reduction minus the
+// private-topology one, in percentage points: how much of PDF's cache
+// advantage the private organisation forfeits.
+func (r *TopologyResult) GapCollapse(workload string, cores int) float64 {
+	return r.MissReductionPercent(workload, cores, "shared") - r.MissReductionPercent(workload, cores, "private")
+}
+
+// String renders one panel per workload: topologies down, PDF and WS
+// side by side.
+func (r *TopologyResult) String() string {
+	var b strings.Builder
+	for _, wl := range Figure2Workloads() {
+		rows := false
+		t := stats.NewTable("cores", "topology", "sched", "cycles", "L2 misses/1000 instr", "PDF miss reduction %", "PDF/WS speedup", "mem util %")
+		for _, row := range r.Rows {
+			if row.Workload != wl {
+				continue
+			}
+			rows = true
+			reduction, rel := "", ""
+			if row.Scheduler == "pdf" {
+				reduction = fmt.Sprintf("%.1f", r.MissReductionPercent(wl, row.Cores, row.Topology))
+				rel = fmt.Sprintf("%.2f", r.RelativeSpeedup(wl, row.Cores, row.Topology))
+			}
+			t.AddRow(
+				fmt.Sprint(row.Cores), row.Topology, row.Scheduler,
+				fmt.Sprint(row.Cycles),
+				fmt.Sprintf("%.3f", row.L2MissesPerKiloInstr),
+				reduction, rel,
+				fmt.Sprintf("%.1f", row.MemUtilization*100),
+			)
+		}
+		if !rows {
+			continue
+		}
+		fmt.Fprintf(&b, "Topology comparison: %s (default configurations, capacity scale 1/%d)\n", wl, r.Scale)
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

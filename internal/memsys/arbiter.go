@@ -1,0 +1,83 @@
+package memsys
+
+import "fmt"
+
+// Arbiter multiplexes per-L2-slice request streams onto one off-chip memory
+// channel.  Pin bandwidth is a chip-level resource: slicing the L2 does not
+// add pins, so every slice's fetches and write-backs contend for the same
+// FIFO channel.  The arbiter keeps per-port (per-slice) statistics so
+// topology experiments can attribute queueing delay and traffic to slices,
+// while the underlying Memory keeps the chip-level aggregate.
+//
+// Timing is exactly the underlying Memory's: with one port the arbiter is a
+// transparent wrapper, which is what keeps shared-topology simulations
+// cycle-identical to the pre-topology model.
+type Arbiter struct {
+	mem   *Memory
+	ports []Stats
+}
+
+// NewArbiter returns an arbiter over mem with the given number of ports.
+func NewArbiter(mem *Memory, ports int) (*Arbiter, error) {
+	if ports <= 0 {
+		return nil, fmt.Errorf("memsys: arbiter needs at least one port, got %d", ports)
+	}
+	return &Arbiter{mem: mem, ports: make([]Stats, ports)}, nil
+}
+
+// MustNewArbiter is NewArbiter but panics on error.
+func MustNewArbiter(mem *Memory, ports int) *Arbiter {
+	a, err := NewArbiter(mem, ports)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Memory returns the underlying off-chip channel.
+func (a *Arbiter) Memory() *Memory { return a.mem }
+
+// Ports returns the number of ports.
+func (a *Arbiter) Ports() int { return len(a.ports) }
+
+// Fetch issues a demand line fetch from port at time now and returns the
+// cycle at which the data is available to the requester.
+func (a *Arbiter) Fetch(port int, now int64) int64 {
+	a.checkPort(port)
+	done := a.mem.Fetch(now)
+	p := &a.ports[port]
+	p.Fetches++
+	p.QueueCycles += done - now - a.mem.cfg.LatencyCycles
+	p.BusyCycles += a.mem.cfg.ServiceIntervalCycles
+	return done
+}
+
+// Writeback schedules a dirty-line write-back from port at time now.
+func (a *Arbiter) Writeback(port int, now int64) {
+	a.checkPort(port)
+	a.mem.Writeback(now)
+	p := &a.ports[port]
+	p.Writebacks++
+	p.BusyCycles += a.mem.cfg.ServiceIntervalCycles
+}
+
+// PortStats returns a copy of the per-port statistics, indexed by port.
+func (a *Arbiter) PortStats() []Stats {
+	out := make([]Stats, len(a.ports))
+	copy(out, a.ports)
+	return out
+}
+
+// Reset clears the channel and every port's statistics.
+func (a *Arbiter) Reset() {
+	a.mem.Reset()
+	for i := range a.ports {
+		a.ports[i] = Stats{}
+	}
+}
+
+func (a *Arbiter) checkPort(port int) {
+	if port < 0 || port >= len(a.ports) {
+		panic(fmt.Sprintf("memsys: access from unknown arbiter port %d (have %d)", port, len(a.ports)))
+	}
+}

@@ -1,0 +1,86 @@
+package memsys
+
+import "testing"
+
+func TestArbiterValidation(t *testing.T) {
+	m := paperMemory(t)
+	if _, err := NewArbiter(m, 0); err == nil {
+		t.Fatalf("accepted zero ports")
+	}
+	if _, err := NewArbiter(m, -1); err == nil {
+		t.Fatalf("accepted negative ports")
+	}
+	a, err := NewArbiter(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ports() != 2 || a.Memory() != m {
+		t.Fatalf("arbiter state: ports=%d", a.Ports())
+	}
+}
+
+// TestArbiterTimingTransparent checks the arbiter adds no timing of its own:
+// completion times match direct Memory calls exactly.
+func TestArbiterTimingTransparent(t *testing.T) {
+	direct := paperMemory(t)
+	arbMem := paperMemory(t)
+	a := MustNewArbiter(arbMem, 3)
+	issues := []struct {
+		port int
+		now  int64
+	}{{0, 0}, {1, 0}, {2, 10}, {0, 1000}}
+	for _, is := range issues {
+		want := direct.Fetch(is.now)
+		if got := a.Fetch(is.port, is.now); got != want {
+			t.Errorf("Fetch(port=%d, now=%d) = %d, want %d", is.port, is.now, got, want)
+		}
+	}
+	direct.Writeback(2000)
+	a.Writeback(1, 2000)
+	if direct.Stats() != arbMem.Stats() {
+		t.Errorf("chip-level stats diverged: %+v vs %+v", direct.Stats(), arbMem.Stats())
+	}
+}
+
+// TestArbiterPortAttribution checks contention is charged to the port that
+// suffered it and that port stats sum to the chip-level stats.
+func TestArbiterPortAttribution(t *testing.T) {
+	a := MustNewArbiter(paperMemory(t), 2)
+	a.Fetch(0, 0) // starts service at 0
+	a.Fetch(1, 0) // queues 30 cycles behind port 0
+	ports := a.PortStats()
+	if ports[0].QueueCycles != 0 {
+		t.Errorf("port 0 queue = %d, want 0", ports[0].QueueCycles)
+	}
+	if ports[1].QueueCycles != 30 {
+		t.Errorf("port 1 queue = %d, want 30", ports[1].QueueCycles)
+	}
+	a.Writeback(0, 100)
+	ports = a.PortStats()
+	var f, w, q, b int64
+	for _, p := range ports {
+		f += p.Fetches
+		w += p.Writebacks
+		q += p.QueueCycles
+		b += p.BusyCycles
+	}
+	chip := a.Memory().Stats()
+	if f != chip.Fetches || w != chip.Writebacks || q != chip.QueueCycles || b != chip.BusyCycles {
+		t.Errorf("port sums (f=%d w=%d q=%d b=%d) != chip stats %+v", f, w, q, b, chip)
+	}
+}
+
+func TestArbiterReset(t *testing.T) {
+	a := MustNewArbiter(paperMemory(t), 2)
+	a.Fetch(0, 0)
+	a.Fetch(1, 0)
+	a.Reset()
+	for i, p := range a.PortStats() {
+		if p != (Stats{}) {
+			t.Errorf("port %d stats not cleared: %+v", i, p)
+		}
+	}
+	if a.Memory().Stats() != (Stats{}) || a.Memory().NextFree() != 0 {
+		t.Errorf("memory not reset")
+	}
+}

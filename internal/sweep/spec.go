@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 
+	"cmpsched/internal/cache"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
 	"cmpsched/internal/workload"
@@ -50,6 +51,12 @@ type Spec struct {
 	// Cores restricts the core counts; empty means every core count the
 	// selected tables define.
 	Cores []int
+	// Topologies lists cache-topology encodings ("shared", "private",
+	// "clustered:<k>"); empty means {"shared"}, the paper's machine.  Each
+	// topology multiplies the grid and is folded into the configuration
+	// fingerprint, so results for different topologies never share cache
+	// entries.
+	Topologies []string
 	// Scale is the capacity scale factor (0 means config.DefaultScale).
 	Scale int64
 	// Quick shrinks inputs and caches a further 16x, mirroring the
@@ -88,8 +95,8 @@ func tableConfigs(table string) ([]config.CMP, error) {
 }
 
 // Jobs expands the spec into its job list, in a deterministic order:
-// workloads outermost, then tables, then core counts, then (sequential,
-// schedulers...).
+// workloads outermost, then tables, then topologies, then core counts, then
+// (sequential, schedulers...).
 func (s Spec) Jobs() ([]Job, error) {
 	if len(s.Workloads) == 0 {
 		return nil, fmt.Errorf("sweep: spec has no workloads")
@@ -101,6 +108,18 @@ func (s Spec) Jobs() ([]Job, error) {
 	tables := s.Tables
 	if len(tables) == 0 {
 		tables = []string{TableDefault}
+	}
+	topoNames := s.Topologies
+	if len(topoNames) == 0 {
+		topoNames = []string{cache.Shared().String()}
+	}
+	topologies := make([]cache.Topology, len(topoNames))
+	for i, name := range topoNames {
+		t, err := cache.ParseTopology(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		topologies[i] = t
 	}
 	factory := s.Factory
 	if factory == nil {
@@ -127,21 +146,23 @@ func (s Spec) Jobs() ([]Job, error) {
 				return nil, err
 			}
 			matched := false
-			for _, base := range cfgs {
-				if !wantCores(base.Cores) {
-					continue
-				}
-				matched = true
-				cfg := base.Scaled(scale)
-				build, params, err := factory(wl, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: %s on %s: %w", wl, cfg.Name, err)
-				}
-				if s.Sequential {
-					jobs = append(jobs, NewJob(wl, params, Sequential, cfg, build))
-				}
-				for _, sc := range schedulers {
-					jobs = append(jobs, NewJob(wl, params, sc, cfg, build))
+			for _, topo := range topologies {
+				for _, base := range cfgs {
+					if !wantCores(base.Cores) {
+						continue
+					}
+					matched = true
+					cfg := base.Scaled(scale).WithTopology(topo)
+					build, params, err := factory(wl, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("sweep: %s on %s: %w", wl, cfg.Name, err)
+					}
+					if s.Sequential {
+						jobs = append(jobs, NewJob(wl, params, Sequential, cfg, build))
+					}
+					for _, sc := range schedulers {
+						jobs = append(jobs, NewJob(wl, params, sc, cfg, build))
+					}
 				}
 			}
 			if !matched {

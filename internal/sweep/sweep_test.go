@@ -84,6 +84,55 @@ func TestKeyHashDistinguishesFields(t *testing.T) {
 	}
 }
 
+// TestKeyDistinguishesTopologies guards the cache-key contract after the
+// topology refactor: two otherwise-identical runs that differ only in cache
+// topology must content-address to distinct keys, or a sweep cache warmed
+// before the config change could serve stale shared-L2 results for
+// private/clustered points.
+func TestKeyDistinguishesTopologies(t *testing.T) {
+	jobsFor := func(topos []string) []Job {
+		spec := testSpec()
+		spec.Workloads = []string{"mergesort"}
+		spec.Schedulers = []string{"pdf"}
+		spec.Cores = []int{8}
+		spec.Sequential = false
+		spec.Topologies = topos
+		jobs, err := spec.Jobs()
+		if err != nil {
+			t.Fatalf("Jobs(%v): %v", topos, err)
+		}
+		return jobs
+	}
+	topos := []string{"shared", "private", "clustered:2", "clustered:4"}
+	jobs := jobsFor(topos)
+	if len(jobs) != len(topos) {
+		t.Fatalf("jobs = %d, want %d", len(jobs), len(topos))
+	}
+	hashes := make(map[string]string)
+	for i, j := range jobs {
+		h := j.Key.Hash()
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("topologies %q and %q share cache key %s", prev, topos[i], h)
+		}
+		hashes[h] = topos[i]
+		if !strings.Contains(j.Key.Config, topos[i]) {
+			t.Errorf("config fingerprint for %q does not encode the topology: %s", topos[i], j.Key.Config)
+		}
+	}
+	// The default (no Topologies) expansion must key identically to an
+	// explicit shared topology, so existing warm caches stay valid.
+	def := jobsFor(nil)
+	if def[0].Key.Hash() != jobs[0].Key.Hash() {
+		t.Errorf("default topology key %s != explicit shared key %s", def[0].Key.Hash(), jobs[0].Key.Hash())
+	}
+
+	bad := testSpec()
+	bad.Topologies = []string{"l3:nope"}
+	if _, err := bad.Jobs(); err == nil {
+		t.Errorf("unknown topology should fail spec expansion")
+	}
+}
+
 func TestSpecExpansion(t *testing.T) {
 	jobs, err := testSpec().Jobs()
 	if err != nil {
