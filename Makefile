@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check lint bench-quick ci clean
+.PHONY: all build test race-sweep vet fmt-check lint bench-quick ci clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The sweep engine's worker pool is the repository's only concurrent code;
+# run it under the race detector (CI runs this step too).
+race-sweep:
+	$(GO) test -race ./internal/sweep/...
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +33,7 @@ lint: fmt-check vet
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: build lint test
+ci: build lint test race-sweep
 
 clean:
 	$(GO) clean ./...

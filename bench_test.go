@@ -257,3 +257,88 @@ func BenchmarkSimulateMergesortClusteredL2(b *testing.B) {
 func BenchmarkSimulateMergesortPrivateL2(b *testing.B) {
 	benchmarkSimulateTopology(b, PrivateTopology())
 }
+
+// Graph-kernel benchmarks: the simulator on irregular, data-dependent
+// inputs.  DAG construction (host graph walk + trace emission) is kept out
+// of the timed loop, like the regular fixtures; the reported metric is the
+// aggregate L2 MPKI so the perf trajectory stays tied to the irregular
+// machine-model shape.
+
+func graphFixture(b *testing.B, build func() (*DAG, *GroupTree, error)) *DAG {
+	b.Helper()
+	d, _, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchmarkSimulateGraph(b *testing.B, w Workload, s Scheduler) {
+	b.Helper()
+	d := graphFixture(b, w.Build)
+	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
+	var mpki float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cmpsim.Run(d, s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpki = res.L2MissesPerKiloInstr()
+	}
+	b.ReportMetric(mpki, "L2-MPKI")
+}
+
+// benchShape is a mid-sized input: large enough that frontiers span many
+// tasks, small enough for -benchtime 1x CI runs.
+func benchShape(family string) GraphShape {
+	return GraphShape{Family: family, Vertices: 1 << 13}
+}
+
+func BenchmarkSimulateBFSUniformPDF(b *testing.B) {
+	benchmarkSimulateGraph(b, NewBFS(BFSConfig{Shape: benchShape("uniform")}), sched.NewPDF())
+}
+
+func BenchmarkSimulateBFSUniformWS(b *testing.B) {
+	benchmarkSimulateGraph(b, NewBFS(BFSConfig{Shape: benchShape("uniform")}), sched.NewWS())
+}
+
+func BenchmarkSimulateBFSRMATPDF(b *testing.B) {
+	benchmarkSimulateGraph(b, NewBFS(BFSConfig{Shape: benchShape("rmat")}), sched.NewPDF())
+}
+
+func BenchmarkSimulateSSSPUniformPDF(b *testing.B) {
+	benchmarkSimulateGraph(b, NewSSSP(SSSPConfig{Shape: benchShape("uniform")}), sched.NewPDF())
+}
+
+func BenchmarkSimulatePageRankRMATPDF(b *testing.B) {
+	benchmarkSimulateGraph(b, NewPageRank(PageRankConfig{Shape: benchShape("rmat"), Iterations: 4}), sched.NewPDF())
+}
+
+func BenchmarkSimulateTrianglesUniformPDF(b *testing.B) {
+	benchmarkSimulateGraph(b, NewTriangles(TrianglesConfig{Shape: benchShape("uniform")}), sched.NewPDF())
+}
+
+func BenchmarkBuildBFSDAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NewBFS(BFSConfig{Shape: benchShape("uniform")}).Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIrregularComparisonQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IrregularComparison(quickOpts(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline shape number: how much MPKI the private organisation
+		// costs PDF on the BFS/uniform point.
+		pdfShared := res.Row("bfs", "uniform", 8, "shared", "pdf")
+		pdfPrivate := res.Row("bfs", "uniform", 8, "private", "pdf")
+		if pdfShared != nil && pdfPrivate != nil && pdfShared.L2MissesPerKiloInstr > 0 {
+			b.ReportMetric(pdfPrivate.L2MissesPerKiloInstr/pdfShared.L2MissesPerKiloInstr, "private/shared-MPKI")
+		}
+	}
+}

@@ -7,11 +7,14 @@
 //	experiments -experiment fig6 -quick    # reduced inputs (seconds)
 //
 // Available experiments: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain,
-// profiler, topology, all.  Output is printed as aligned text tables;
-// EXPERIMENTS.md records a full run next to the paper's numbers.  The
-// topology experiment is not a paper figure: it evaluates the paper's
-// shared-vs-private premise by rerunning PDF vs WS with the L2 organised as
-// shared, clustered and per-core private slices.
+// profiler, topology, irregular, all.  Output is printed as aligned text
+// tables; EXPERIMENTS.md records a full run next to the paper's numbers.
+// The topology and irregular experiments are not paper figures: topology
+// evaluates the paper's shared-vs-private premise by rerunning PDF vs WS
+// with the L2 organised as shared, clustered and per-core private slices,
+// and irregular asks the same PDF-vs-WS question on the data-dependent
+// graph kernels (BFS, SSSP, PageRank, triangle counting) across generator
+// families.
 package main
 
 import (
@@ -43,12 +46,13 @@ func runners() []runner {
 		{"grain", func(o experiments.Options) (fmt.Stringer, error) { return experiments.Granularity(o) }},
 		{"profiler", func(o experiments.Options) (fmt.Stringer, error) { return experiments.ProfilerComparison(o) }},
 		{"topology", func(o experiments.Options) (fmt.Stringer, error) { return experiments.TopologyComparison(o) }},
+		{"irregular", func(o experiments.Options) (fmt.Stringer, error) { return experiments.IrregularComparison(o) }},
 	}
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology or all")
+		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology, irregular or all")
 		quick = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
 		scale = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
 	)

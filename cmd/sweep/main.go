@@ -5,7 +5,9 @@
 //
 // Usage:
 //
+//	sweep -list                                         # discover every axis value
 //	sweep -workloads mergesort,hashjoin                 # PDF vs WS, Table 2
+//	sweep -workloads bfs,sssp,pagerank,triangles        # irregular graph kernels
 //	sweep -tables 45nm -cores 2,8,18,26 -quick          # a Figure 3 slice
 //	sweep -topology shared,private,clustered:4 -quick   # cache-topology axis
 //	sweep -workloads lu -seq -format csv -o lu.csv      # with speedup baseline
@@ -26,6 +28,7 @@ import (
 
 	"cmpsched/internal/config"
 	"cmpsched/internal/experiments"
+	"cmpsched/internal/sched"
 	"cmpsched/internal/stats"
 	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
@@ -34,7 +37,8 @@ import (
 func main() {
 	var (
 		workloads  = flag.String("workloads", "mergesort,hashjoin,lu", "comma-separated workloads: "+strings.Join(workload.Names(), ", "))
-		schedulers = flag.String("schedulers", "pdf,ws", "comma-separated schedulers: pdf, ws, fifo")
+		schedulers = flag.String("schedulers", "pdf,ws", "comma-separated schedulers: "+strings.Join(sched.Names(), ", "))
+		list       = flag.Bool("list", false, "print the available workloads, schedulers, topologies and configuration tables, then exit")
 		tables     = flag.String("tables", sweep.TableDefault, "configuration tables: default (Table 2), 45nm (Table 3)")
 		topology   = flag.String("topology", "shared", "comma-separated cache topologies: shared, private, clustered:<k>")
 		cores      = flag.String("cores", "", "comma-separated core counts (empty = all the tables define)")
@@ -48,6 +52,11 @@ func main() {
 		verbose    = flag.Bool("v", false, "log each completed job to stderr")
 	)
 	flag.Parse()
+
+	if *list {
+		printAvailable(os.Stdout)
+		return
+	}
 
 	switch *format {
 	case "table", "csv", "json":
@@ -128,6 +137,15 @@ func main() {
 	if *verbose || *format == "table" {
 		printSummary(os.Stderr, agg, engine, cache, len(jobs), elapsed)
 	}
+}
+
+// printAvailable lists every axis value a sweep spec accepts (-list).
+func printAvailable(w *os.File) {
+	fmt.Fprintf(w, "workloads:  %s\n", strings.Join(workload.Names(), ", "))
+	fmt.Fprintf(w, "schedulers: %s (plus the %q baseline via -seq)\n",
+		strings.Join(sched.Names(), ", "), sweep.Sequential)
+	fmt.Fprintf(w, "topologies: shared, private, clustered:<cores-per-slice>\n")
+	fmt.Fprintf(w, "tables:     %s (Table 2), %s (Table 3)\n", sweep.TableDefault, sweep.Table45nm)
 }
 
 func cachedTag(r sweep.Result) string {

@@ -13,7 +13,9 @@
 //     (internal/cmpsim, internal/cache, internal/memsys),
 //   - the paper's CMP configuration tables (internal/config),
 //   - the benchmark workloads: Mergesort, Hash Join, LU, Matrix Multiply,
-//     Quicksort and a Heat stencil (internal/workload),
+//     Quicksort and a Heat stencil (internal/workload), plus the irregular
+//     graph kernels BFS, SSSP, PageRank and triangle counting over
+//     generated uniform/grid/RMAT graphs (internal/graph),
 //   - the LruTree one-pass working-set profiler, the SetAssoc baseline and
 //     the automatic task-coarsening pass (internal/profile,
 //     internal/coarsen),
@@ -89,6 +91,16 @@ type (
 	CholeskyConfig  = workload.CholeskyConfig
 	QuicksortConfig = workload.QuicksortConfig
 	HeatConfig      = workload.HeatConfig
+
+	// GraphShape selects the input graph (family, size, degree, seed) and
+	// task grain shared by the irregular graph kernels; BFSConfig,
+	// SSSPConfig, PageRankConfig and TrianglesConfig parameterise the
+	// kernels themselves.
+	GraphShape      = workload.GraphShape
+	BFSConfig       = workload.BFSConfig
+	SSSPConfig      = workload.SSSPConfig
+	PageRankConfig  = workload.PageRankConfig
+	TrianglesConfig = workload.TrianglesConfig
 
 	// ProfileConfig configures a working-set profiling pass.
 	ProfileConfig = profile.Config
@@ -191,8 +203,8 @@ func RunSequential(d *DAG, cfg CMPConfig) (*SimResult, error) {
 }
 
 // BuildWorkload builds a benchmark by name with its default (scaled)
-// parameters: "mergesort", "hashjoin", "lu", "matmul", "quicksort" or
-// "heat".
+// parameters; see WorkloadNames for the registered names (the regular suite
+// plus the graph kernels "bfs", "sssp", "pagerank" and "triangles").
 func BuildWorkload(name string) (*DAG, *GroupTree, error) {
 	w, err := workload.New(name)
 	if err != nil {
@@ -229,8 +241,26 @@ func NewQuicksort(cfg QuicksortConfig) Workload { return workload.NewQuicksort(c
 // NewHeat constructs the Jacobi-stencil benchmark.
 func NewHeat(cfg HeatConfig) Workload { return workload.NewHeat(cfg) }
 
+// NewBFS constructs the level-synchronous breadth-first-search benchmark on
+// a generated graph (zero fields take defaults: a uniform random graph of
+// 2^15 vertices, average degree 8).
+func NewBFS(cfg BFSConfig) Workload { return workload.NewBFS(cfg) }
+
+// NewSSSP constructs the round-based Bellman-Ford shortest-paths benchmark.
+func NewSSSP(cfg SSSPConfig) Workload { return workload.NewSSSP(cfg) }
+
+// NewPageRank constructs the PageRank power-iteration benchmark.
+func NewPageRank(cfg PageRankConfig) Workload { return workload.NewPageRank(cfg) }
+
+// NewTriangles constructs the triangle-counting benchmark.
+func NewTriangles(cfg TrianglesConfig) Workload { return workload.NewTriangles(cfg) }
+
 // WorkloadNames lists the available benchmarks.
 func WorkloadNames() []string { return workload.Names() }
+
+// RegisterWorkload adds a named workload factory to the registry BuildWorkload
+// and sweep specifications resolve names against.
+func RegisterWorkload(name string, f func() Workload) { workload.Register(name, f) }
 
 // ProfileWorkingSets runs the one-pass LruTree profiler over the DAG's
 // sequential trace.

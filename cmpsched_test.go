@@ -52,7 +52,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeConstructors(t *testing.T) {
-	if len(WorkloadNames()) != 7 {
+	// The regular suite plus the four graph kernels.
+	if len(WorkloadNames()) != 11 {
 		t.Fatalf("WorkloadNames = %v", WorkloadNames())
 	}
 	for _, name := range WorkloadNames() {

@@ -1,0 +1,75 @@
+// Graph irregularity: drive the sweep engine over the irregular graph
+// kernels (BFS, SSSP, PageRank, triangle counting) the way cmd/sweep does —
+// same workload sizing, same content-addressed jobs — contrasting a shared
+// L2 against per-core private slices of the same total capacity.
+//
+// The graph kernels are the data-dependent counterpart of the paper's
+// regular benchmarks: which cache lines a task touches is decided by the
+// generated adjacency structure.  The level-synchronous kernels co-schedule
+// tasks that share the frontier, the CSR arrays and the hot vertex-vector
+// lines, so slicing the L2 per core costs them far more misses than it
+// costs a regular divide-and-conquer workload.
+//
+// Run with:
+//
+//	go run ./examples/graph_irregularity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpsched"
+)
+
+func main() {
+	// The same spec `cmd/sweep -workloads bfs,sssp,pagerank,triangles
+	// -topology shared,private -cores 8 -quick` would run: the experiment
+	// harness's factory sizes the graphs, and every point is one
+	// content-addressed job on the parallel engine.
+	opts := cmpsched.ExperimentOptions{Quick: true}
+	spec := cmpsched.SweepSpec{
+		Workloads:  []string{"bfs", "sssp", "pagerank", "triangles"},
+		Schedulers: []string{"pdf", "ws"},
+		Topologies: []string{"shared", "private"},
+		Cores:      []int{8},
+		Quick:      true,
+		Factory:    opts.WorkloadFactory(),
+	}
+	results, err := cmpsched.RunSweep(spec, cmpsched.SweepEngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type point struct{ cycles, mpki float64 }
+	grid := map[string]point{}
+	for _, r := range results {
+		grid[r.Key.Workload+"/"+r.Sim.Config.Topology.String()+"/"+r.Key.Scheduler] =
+			point{float64(r.Sim.Cycles), r.Sim.L2MissesPerKiloInstr()}
+	}
+
+	fmt.Println("graph kernels on 8 cores, shared vs private L2 (quick inputs)")
+	fmt.Printf("\n%-10s %-8s %14s %14s %22s %22s\n",
+		"kernel", "topology", "pdf cycles", "ws cycles", "PDF miss reduction", "private MPKI penalty")
+	for _, wl := range []string{"bfs", "sssp", "pagerank", "triangles"} {
+		for _, topo := range []string{"shared", "private"} {
+			pdf := grid[wl+"/"+topo+"/pdf"]
+			ws := grid[wl+"/"+topo+"/ws"]
+			reduction := 0.0
+			if ws.mpki > 0 {
+				reduction = (ws.mpki - pdf.mpki) / ws.mpki * 100
+			}
+			penalty := ""
+			if topo == "private" {
+				if shared := grid[wl+"/shared/pdf"]; shared.mpki > 0 {
+					penalty = fmt.Sprintf("%.2fx", pdf.mpki/shared.mpki)
+				}
+			}
+			fmt.Printf("%-10s %-8s %14.0f %14.0f %21.1f%% %22s\n",
+				wl, topo, pdf.cycles, ws.cycles, reduction, penalty)
+		}
+	}
+	fmt.Println("\nSlicing the L2 per core multiplies the graph kernels' misses:")
+	fmt.Println("their tasks share the CSR arrays and hot vertex lines, and only")
+	fmt.Println("a shared cache lets the co-scheduled tasks overlap those lines.")
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"cmpsched/internal/imath"
 )
 
 // TopologyKind selects how the L2 capacity is organised relative to the
@@ -182,7 +184,7 @@ func (t Topology) SliceConfig(total Config, cores int) Config {
 	if int64(slice.Assoc)*total.LineBytes > slice.SizeBytes {
 		slice.Assoc = int(slice.SizeBytes / total.LineBytes)
 	}
-	lat := total.HitLatency - 2*int64(log2Ceil(slices))
+	lat := total.HitLatency - 2*imath.Log2Ceil(int64(slices))
 	if lat < MinL2HitLatency {
 		lat = MinL2HitLatency
 	}
@@ -191,13 +193,4 @@ func (t Topology) SliceConfig(total Config, cores int) Config {
 	}
 	slice.HitLatency = lat
 	return slice
-}
-
-// log2Ceil returns ceil(log2(n)) for n >= 1.
-func log2Ceil(n int) int {
-	bits := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		bits++
-	}
-	return bits
 }

@@ -25,6 +25,7 @@ import (
 
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
+	"cmpsched/internal/imath"
 	"cmpsched/internal/sweep"
 	"cmpsched/internal/workload"
 )
@@ -100,7 +101,7 @@ func (o Options) scaled45nm(cores int) (config.CMP, error) {
 func (o Options) mergesortConfig() workload.MergesortConfig {
 	return workload.MergesortConfig{
 		Elements:            (1 << 20) / o.quickDiv(),
-		TaskWorkingSetBytes: maxI64(2<<10, (16<<10)/o.quickDiv()),
+		TaskWorkingSetBytes: imath.Max(2<<10, (16<<10)/o.quickDiv()),
 	}
 }
 
@@ -121,6 +122,52 @@ func (o Options) luConfig() workload.LUConfig {
 	}
 	return workload.LUConfig{N: n, BlockElems: 32}
 }
+
+// graphShape returns the graph input used by the experiments for a kernel
+// and generator family, shrunk in quick mode like every other input.
+func (o Options) graphShape(kernel, family string) workload.GraphShape {
+	verts := int64(1 << 15)
+	switch kernel {
+	case "pagerank":
+		verts = 1 << 13
+	case "triangles":
+		verts = 1 << 14
+	}
+	shape := workload.GraphShape{Family: family, Vertices: imath.Max(1<<11, verts/o.quickDiv())}
+	if o.Quick {
+		// Keep several tasks per frontier on the shrunken graphs so the
+		// schedulers still have co-scheduling decisions to make.
+		shape.EdgesPerTask = 512
+	}
+	return shape
+}
+
+// graphWorkload builds a graph kernel workload on the experiments' inputs
+// and returns the canonical fingerprint of its default-filled configuration,
+// from the same switch, so the two can never drift apart.
+func (o Options) graphWorkload(kernel, family string) (workload.Workload, string, error) {
+	shape := o.graphShape(kernel, family)
+	switch kernel {
+	case "bfs":
+		w := workload.NewBFS(workload.BFSConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "sssp":
+		w := workload.NewSSSP(workload.SSSPConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "pagerank":
+		w := workload.NewPageRank(workload.PageRankConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "triangles":
+		w := workload.NewTriangles(workload.TrianglesConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	default:
+		return nil, "", fmt.Errorf("experiments: unknown graph kernel %q", kernel)
+	}
+}
+
+// GraphKernels lists the irregular graph workloads, in the order the
+// irregularity figure reports them.
+func GraphKernels() []string { return []string{"bfs", "sssp", "pagerank", "triangles"} }
 
 // workloadSpec is the single point deciding both the inputs a named
 // benchmark is built with and the canonical fingerprint of those inputs —
@@ -143,6 +190,8 @@ func (o Options) workloadSpec(name string, cfg config.CMP) (build sweep.BuildFun
 	case "lu":
 		c := o.luConfig()
 		return dagOf(workload.NewLU(c)), fmt.Sprintf("%+v", c), nil
+	case "bfs", "sssp", "pagerank", "triangles":
+		return o.graphSpec(name, "")
 	default:
 		// The remaining benchmarks take no Options-dependent inputs.
 		w, err := workload.New(name)
@@ -151,6 +200,36 @@ func (o Options) workloadSpec(name string, cfg config.CMP) (build sweep.BuildFun
 		}
 		return dagOf(w), "default", nil
 	}
+}
+
+// graphSpec returns the build function and canonical fingerprint for a graph
+// kernel on the given generator family ("" means the kernel's default,
+// uniform).  The fingerprint is the default-filled kernel configuration, so
+// it covers the family, the graph shape and the task grain.
+func (o Options) graphSpec(kernel, family string) (sweep.BuildFunc, string, error) {
+	w, params, err := o.graphWorkload(kernel, family)
+	if err != nil {
+		return nil, "", err
+	}
+	build := func() (*dag.DAG, error) {
+		d, _, err := w.Build()
+		return d, err
+	}
+	return build, params, nil
+}
+
+// graphSchedulerJobs returns the (pdf, ws) jobs for one graph kernel on one
+// family and configuration — the fixed order the irregularity figure's
+// decoder relies on.
+func (o Options) graphSchedulerJobs(kernel, family string, cfg config.CMP) ([]sweep.Job, error) {
+	build, params, err := o.graphSpec(kernel, family)
+	if err != nil {
+		return nil, err
+	}
+	return []sweep.Job{
+		sweep.NewJob(kernel, params, "pdf", cfg, build),
+		sweep.NewJob(kernel, params, "ws", cfg, build),
+	}, nil
 }
 
 // run executes the jobs on the sweep engine configured by the options and
@@ -218,11 +297,4 @@ func (o Options) schedulerJobs(name string, cfg config.CMP, withSeq bool) ([]swe
 // parameterisation as the figures.
 func (o Options) WorkloadFactory() sweep.WorkloadFactory {
 	return o.workloadSpec
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

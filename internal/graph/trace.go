@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"cmpsched/internal/imath"
+	"cmpsched/internal/refs"
+)
+
+// The simulated address-space layout of the kernel data structures.  Bases
+// are spaced far apart so regions never alias, and sit above the workload
+// package's bases (0x1..0xC_0000_0000).
+const (
+	baseOffsets uint64 = 0x20_0000_0000 // CSR offsets array, 8 B entries
+	baseEdges   uint64 = 0x21_0000_0000 // CSR edge array, 4 B entries
+	baseWeights uint64 = 0x22_0000_0000 // per-edge weights, 8 B entries
+	baseFrontA  uint64 = 0x23_0000_0000 // frontier / active list, even levels
+	baseFrontB  uint64 = 0x24_0000_0000 // frontier / active list, odd levels
+	baseDist    uint64 = 0x25_0000_0000 // distance vector, 8 B entries
+	baseRankA   uint64 = 0x26_0000_0000 // rank vector, even iterations
+	baseRankB   uint64 = 0x27_0000_0000 // rank vector, odd iterations
+	baseAccum   uint64 = 0x28_0000_0000 // per-task partial results
+)
+
+const (
+	offsetEntryBytes = 8
+	edgeEntryBytes   = 4
+	weightEntryBytes = 8
+	vertexEntryBytes = 8 // distance / rank / frontier entries
+)
+
+func offsetAddr(v int64) uint64 { return baseOffsets + uint64(v)*offsetEntryBytes }
+func edgeAddr(i int64) uint64   { return baseEdges + uint64(i)*edgeEntryBytes }
+func weightAddr(i int64) uint64 { return baseWeights + uint64(i)*weightEntryBytes }
+func distAddr(v int64) uint64   { return baseDist + uint64(v)*vertexEntryBytes }
+func accumAddr(t int64) uint64  { return baseAccum + uint64(t)*vertexEntryBytes }
+func frontBase(parity int) uint64 {
+	if parity%2 == 0 {
+		return baseFrontA
+	}
+	return baseFrontB
+}
+func frontAddr(parity int, slot int64) uint64 {
+	return frontBase(parity) + uint64(slot)*vertexEntryBytes
+}
+func rankBase(parity int) uint64 {
+	if parity%2 == 0 {
+		return baseRankA
+	}
+	return baseRankB
+}
+func rankAddr(parity int, v int64) uint64 {
+	return rankBase(parity) + uint64(v)*vertexEntryBytes
+}
+
+// trace accumulates one task's memory references at cache-line granularity:
+// consecutive touches to the same line collapse into one reference (their
+// instruction counts accumulate), matching how the regular workload
+// generators emit one reference per line touched.
+type trace struct {
+	lineBytes int64
+	refs      []refs.Ref
+	lastLine  uint64
+	pending   int64 // instructions to charge before the next emitted ref
+}
+
+func newTrace(lineBytes int64) *trace {
+	return &trace{lineBytes: lineBytes, lastLine: ^uint64(0)}
+}
+
+// touch records an access to addr, charging instrs instructions before it.
+func (t *trace) touch(addr uint64, write bool, instrs int64) {
+	line := addr / uint64(t.lineBytes)
+	t.pending += instrs
+	if len(t.refs) > 0 && line == t.lastLine {
+		if write {
+			t.refs[len(t.refs)-1].Write = true
+		}
+		return
+	}
+	t.refs = append(t.refs, refs.Ref{
+		Addr:   line * uint64(t.lineBytes),
+		Write:  write,
+		Instrs: t.pending,
+	})
+	t.pending = 0
+	t.lastLine = line
+}
+
+// span records a sequential access to the region [addr, addr+bytes).
+func (t *trace) span(addr uint64, bytes int64, write bool, instrsPerLine int64) {
+	if bytes <= 0 {
+		return
+	}
+	first := addr / uint64(t.lineBytes)
+	last := (addr + uint64(bytes) - 1) / uint64(t.lineBytes)
+	for line := first; line <= last; line++ {
+		t.touch(line*uint64(t.lineBytes), write, instrsPerLine)
+	}
+}
+
+// gen finalises the trace into a replayable generator, charging tail
+// instructions (plus any pending ones) after the final reference.
+func (t *trace) gen(tail int64) refs.Gen {
+	return refs.NewPoints(t.refs, tail+t.pending)
+}
+
+// bytes estimates the task's working set: one line per emitted reference.
+// Consecutive-line dedupe makes this a slight overcount for re-touched lines
+// and that is fine for a coarsening parameter.
+func (t *trace) bytes() int64 { return int64(len(t.refs)) * t.lineBytes }
+
+// Costs parameterise the kernels' reference granularity, task grain and
+// instruction accounting.
+type Costs struct {
+	// LineBytes is the granularity of emitted references (default 128,
+	// Table 1's line size).
+	LineBytes int64
+	// EdgesPerTask is the target number of edge traversals per task: the
+	// task-granularity knob of the irregular kernels (default 4096).
+	// Frontier chunks are cut greedily so each task stays near this budget.
+	EdgesPerTask int64
+	// InstrsPerEdge is the instruction cost per edge traversed (default 8).
+	InstrsPerEdge int64
+	// InstrsPerVertex is the instruction cost per vertex processed
+	// (default 16).
+	InstrsPerVertex int64
+	// SpawnInstrs is the overhead charged to barrier/spawn tasks
+	// (default 200).
+	SpawnInstrs int64
+}
+
+func (c Costs) withDefaults() Costs {
+	if c.LineBytes == 0 {
+		c.LineBytes = 128
+	}
+	if c.EdgesPerTask == 0 {
+		c.EdgesPerTask = 4096
+	}
+	if c.InstrsPerEdge == 0 {
+		c.InstrsPerEdge = 8
+	}
+	if c.InstrsPerVertex == 0 {
+		c.InstrsPerVertex = 16
+	}
+	if c.SpawnInstrs == 0 {
+		c.SpawnInstrs = 200
+	}
+	return c
+}
+
+// chunk splits the index range [0, n) greedily so that each chunk's work —
+// work(i), typically the vertex's degree — stays at or under budget while
+// every chunk holds at least one index.  It returns half-open [start, end)
+// ranges.
+func chunk(n int64, budget int64, work func(i int64) int64) [][2]int64 {
+	budget = imath.Max(1, budget)
+	var out [][2]int64
+	start := int64(0)
+	acc := int64(0)
+	for i := int64(0); i < n; i++ {
+		w := work(i)
+		if i > start && acc+w > budget {
+			out = append(out, [2]int64{start, i})
+			start, acc = i, 0
+		}
+		acc += w
+	}
+	if start < n {
+		out = append(out, [2]int64{start, n})
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package prng provides the splitmix64 pseudo-random primitives shared by
+// the reference-stream, workload and graph generators.  splitmix64 is tiny,
+// fast and fully deterministic across platforms, which is what keeps traces
+// — and therefore sweep cache keys — reproducible everywhere.
+//
+// Callers keep their own reduction strategies (multiply-shift in refs,
+// modulo in graph): only the generator state step and the finaliser live
+// here, so consolidating the copies cannot change any generated stream.
+package prng
+
+// SplitMix64 is a splitmix64 pseudo-random number generator.
+type SplitMix64 struct{ State uint64 }
+
+// Next advances the state and returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.State += 0x9e3779b97f4a7c15
+	return Mix64(s.State)
+}
+
+// Mix64 is the splitmix64 finaliser, also usable as a stateless hash (e.g.
+// deriving symmetric edge weights from endpoint pairs).
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

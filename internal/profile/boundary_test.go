@@ -1,0 +1,176 @@
+package profile
+
+import (
+	"testing"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/refs"
+)
+
+// Boundary and adversarial streams for the set-associative baseline profiler
+// and the Fenwick index: empty traces, single-line traces, and
+// power-of-two-strided traces that alias into one cache set — the case where
+// a set-associative simulation legitimately diverges from the LRU-stack
+// model.
+
+// pointsDAG builds a one-task DAG replaying the given addresses as reads.
+func pointsDAG(name string, addrs []uint64) *dag.DAG {
+	d := dag.New(name)
+	rs := make([]refs.Ref, len(addrs))
+	for i, a := range addrs {
+		rs[i] = refs.Ref{Addr: a, Instrs: 1}
+	}
+	d.AddTask(name, refs.NewPoints(rs, 0))
+	return d
+}
+
+func TestSetAssocEmptyStream(t *testing.T) {
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{128, 512}}
+	d := dag.New("empty")
+	d.AddTask("no-refs", refs.Empty{})
+	d.AddComputeTask("compute-only", 100)
+
+	sa := NewSetAssoc(cfg, 4)
+	g, err := sa.Group(d, 0, 1)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if g.Refs != 0 || g.DistinctLines != 0 || g.WorkingSetBytes != 0 {
+		t.Fatalf("empty stream stats = %+v", g)
+	}
+	for i, h := range g.Hits {
+		if h != 0 {
+			t.Fatalf("empty stream hits[%d] = %d", i, h)
+		}
+	}
+	// The one-pass profiler agrees on the empty group.
+	pr, err := NewLruTree(cfg).ProfileDAG(d)
+	if err != nil {
+		t.Fatalf("ProfileDAG: %v", err)
+	}
+	if lg := pr.Group(0, 1); lg.Refs != 0 || lg.DistinctLines != 0 {
+		t.Fatalf("lrutree empty stats = %+v", lg)
+	}
+}
+
+func TestSetAssocSingleLineStream(t *testing.T) {
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{64, 1024}}
+	// 16 touches of one line, at varying offsets within the line.
+	addrs := make([]uint64, 16)
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(i%4)
+	}
+	d := pointsDAG("one-line", addrs)
+	g, err := NewSetAssoc(cfg, 4).Group(d, 0, 0)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if g.Refs != 16 || g.DistinctLines != 1 || g.WorkingSetBytes != 64 {
+		t.Fatalf("single-line stats = %+v", g)
+	}
+	// Everything after the cold miss hits, even in a one-line cache.
+	for i, h := range g.Hits {
+		if h != 15 {
+			t.Fatalf("hits[%d] = %d, want 15", i, h)
+		}
+	}
+}
+
+// TestSetAssocPowerOfTwoAliasing drives a stream whose stride aliases every
+// line into set 0 of a 2-way cache: the set-associative simulation thrashes
+// (zero hits) while the fully-associative LRU-stack model holds the whole
+// working set.  This is exactly the divergence the paper accepts when it
+// approximates caches by LRU stacks (§6.1).
+func TestSetAssocPowerOfTwoAliasing(t *testing.T) {
+	// One cache size: 512 B, 64 B lines -> 8 lines; assoc 2 -> 4 sets.
+	// Stride 4*64 = 256 B maps every address to set 0.
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{512}}
+	const stride = 256
+	var addrs []uint64
+	for pass := 0; pass < 4; pass++ {
+		for line := uint64(0); line < 4; line++ {
+			addrs = append(addrs, line*stride)
+		}
+	}
+	d := pointsDAG("alias", addrs)
+
+	g, err := NewSetAssoc(cfg, 2).Group(d, 0, 0)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if g.Refs != 16 || g.DistinctLines != 4 {
+		t.Fatalf("alias stats = %+v", g)
+	}
+	// 4 lines cycling through one 2-way set: LRU evicts every reuse.
+	if g.Hits[0] != 0 {
+		t.Fatalf("aliased 2-way hits = %d, want 0", g.Hits[0])
+	}
+
+	// Fully associative (huge requested associativity is clamped to
+	// size/line): the 4-line working set fits the 8-line cache, so every
+	// non-cold reference hits.
+	fa, err := NewSetAssoc(cfg, 1<<20).Group(d, 0, 0)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if fa.Hits[0] != 12 {
+		t.Fatalf("fully-assoc hits = %d, want 12", fa.Hits[0])
+	}
+	// The LRU-stack profiler matches the fully-associative simulation, not
+	// the aliased one.
+	pr, err := NewLruTree(cfg).ProfileDAG(d)
+	if err != nil {
+		t.Fatalf("ProfileDAG: %v", err)
+	}
+	if lg := pr.Group(0, 0); lg.Hits[0] != 12 {
+		t.Fatalf("lrutree hits = %d, want 12", lg.Hits[0])
+	}
+}
+
+func TestFenwickBoundaries(t *testing.T) {
+	// A zero-slot tree accepts no positions and sums to zero everywhere.
+	empty := newFenwick(0)
+	empty.add(1, 5) // out of range: must be a no-op, not a panic
+	if empty.prefix(0) != 0 || empty.prefix(10) != 0 {
+		t.Fatalf("zero-size fenwick not empty")
+	}
+	if empty.rangeSum(1, 10) != 0 {
+		t.Fatalf("zero-size rangeSum != 0")
+	}
+
+	f := newFenwick(8)
+	f.add(1, 3) // first slot
+	f.add(8, 4) // last slot
+	if f.prefix(0) != 0 {
+		t.Fatalf("prefix(0) = %d", f.prefix(0))
+	}
+	if f.prefix(1) != 3 || f.prefix(7) != 3 || f.prefix(8) != 7 {
+		t.Fatalf("prefix sums wrong: %d %d %d", f.prefix(1), f.prefix(7), f.prefix(8))
+	}
+	// Inverted and degenerate ranges are empty.
+	if f.rangeSum(5, 4) != 0 || f.rangeSum(8, 1) != 0 {
+		t.Fatalf("inverted rangeSum != 0")
+	}
+	// Single-slot ranges at both boundaries.
+	if f.rangeSum(1, 1) != 3 || f.rangeSum(8, 8) != 4 {
+		t.Fatalf("boundary rangeSum wrong")
+	}
+	// Out-of-range additions are ignored.
+	f.add(9, 100)
+	f.add(0, 100) // position 0 is below the 1-based range
+	if f.prefix(100) != 7 {
+		t.Fatalf("out-of-range add leaked: %d", f.prefix(100))
+	}
+}
+
+func TestSetAssocGroupRangeBeyondDAGClamps(t *testing.T) {
+	cfg := Config{LineBytes: 64, CacheSizes: []int64{512}}
+	d := pointsDAG("short", []uint64{0, 64, 128})
+	g, err := NewSetAssoc(cfg, 4).Group(d, 0, 100)
+	if err != nil {
+		t.Fatalf("Group: %v", err)
+	}
+	if g.Refs != 3 || g.DistinctLines != 3 {
+		t.Fatalf("clamped stats = %+v", g)
+	}
+}

@@ -13,8 +13,12 @@ func newFenwick(n int) *fenwick {
 	return &fenwick{tree: make([]int32, n+1)}
 }
 
-// add adds delta at position i (1-based).
+// add adds delta at position i (1-based). Out-of-range positions are
+// ignored; a non-positive i would otherwise loop forever (i & -i == 0).
 func (f *fenwick) add(i int, delta int32) {
+	if i <= 0 {
+		return
+	}
 	for ; i < len(f.tree); i += i & (-i) {
 		f.tree[i] += delta
 	}

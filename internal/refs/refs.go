@@ -11,6 +11,8 @@
 // touched, which keeps traces compact while preserving miss behaviour.
 package refs
 
+import "cmpsched/internal/prng"
+
 // Ref is a single memory reference.
 type Ref struct {
 	// Addr is the byte address of the reference. Consumers map it to a
@@ -41,24 +43,10 @@ type Gen interface {
 	Next() (r Ref, ok bool)
 }
 
-// rng is a splitmix64 pseudo-random number generator.  It is tiny, fast and
-// fully deterministic across platforms, which keeps traces reproducible.
-type rng struct{ state uint64 }
-
-func newRNG(seed uint64) *rng { return &rng{state: seed} }
-
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// intn returns a uniform value in [0, n). n must be > 0.
-func (r *rng) intn(n uint64) uint64 {
+// intn returns a uniform value in [0, n) drawn from r. n must be > 0.
+func intn(r *prng.SplitMix64, n uint64) uint64 {
 	// Multiply-shift reduction; bias is negligible for our trace sizes.
-	hi, _ := mul64(r.next(), n)
+	hi, _ := mul64(r.Next(), n)
 	return hi
 }
 
@@ -259,7 +247,7 @@ type Random struct {
 	InstrsPerRef int64
 
 	pos int64
-	r   *rng
+	r   *prng.SplitMix64
 }
 
 // Len implements Gen.
@@ -292,13 +280,13 @@ func (g *Random) Next() (Ref, bool) {
 		return Ref{}, false
 	}
 	if g.r == nil {
-		g.r = newRNG(g.Seed)
+		g.r = &prng.SplitMix64{State: g.Seed}
 	}
 	lb := g.LineBytes
 	if lb <= 0 {
 		lb = 64
 	}
-	line := g.r.intn(g.lines())
+	line := intn(g.r, g.lines())
 	g.pos++
 	return Ref{
 		Addr:   g.Base + line*uint64(lb),

@@ -1,6 +1,7 @@
 package refs
 
 import (
+	"cmpsched/internal/prng"
 	"testing"
 	"testing/quick"
 )
@@ -346,9 +347,9 @@ func TestMul64(t *testing.T) {
 }
 
 func TestRNGIntnRange(t *testing.T) {
-	r := newRNG(99)
+	r := &prng.SplitMix64{State: 99}
 	for i := 0; i < 1000; i++ {
-		v := r.intn(17)
+		v := intn(r, 17)
 		if v >= 17 {
 			t.Fatalf("intn(17) produced %d", v)
 		}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyShape keeps graph workload tests fast while preserving multi-level,
+// multi-task structure.
+func tinyShape(family string) GraphShape {
+	return GraphShape{Family: family, Vertices: 1 << 10, EdgesPerTask: 512}
+}
+
+func TestGraphWorkloadsBuildValidDAGs(t *testing.T) {
+	// A 32x32 grid's BFS frontiers are short diagonals, so the grid case
+	// needs a finer grain than the random families to stay parallel.
+	gridShape := tinyShape("grid")
+	gridShape.EdgesPerTask = 64
+	for _, w := range []Workload{
+		NewBFS(BFSConfig{Shape: tinyShape("uniform")}),
+		NewBFS(BFSConfig{Shape: gridShape}),
+		NewBFS(BFSConfig{Shape: tinyShape("rmat")}),
+		NewSSSP(SSSPConfig{Shape: tinyShape("uniform"), MaxRounds: 8}),
+		NewPageRank(PageRankConfig{Shape: tinyShape("rmat"), Iterations: 3}),
+		NewTriangles(TrianglesConfig{Shape: tinyShape("uniform")}),
+	} {
+		checkWorkload(t, w)
+	}
+}
+
+func TestGraphWorkloadsAreRegistered(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"bfs", "sssp", "pagerank", "triangles"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v is missing %q", names, want)
+		}
+		w, err := New(want)
+		if err != nil {
+			t.Fatalf("New(%q): %v", want, err)
+		}
+		if w.Name() != want {
+			t.Errorf("New(%q).Name() = %q", want, w.Name())
+		}
+	}
+}
+
+func TestGraphShapeDefaults(t *testing.T) {
+	bfs := NewBFS(BFSConfig{})
+	cfg := bfs.Config()
+	if cfg.Shape.Family != "uniform" || cfg.Shape.Vertices != 1<<15 || cfg.Shape.AvgDegree != 8 {
+		t.Fatalf("bfs defaults = %+v", cfg.Shape)
+	}
+	if cfg.Shape.LineBytes != DefaultLineBytes {
+		t.Fatalf("bfs line bytes = %d", cfg.Shape.LineBytes)
+	}
+	sssp := NewSSSP(SSSPConfig{})
+	if c := sssp.Config(); c.MaxWeight != 16 || c.MaxRounds != 64 {
+		t.Fatalf("sssp defaults = %+v", c)
+	}
+	pr := NewPageRank(PageRankConfig{})
+	if c := pr.Config(); c.Iterations != 8 || c.Shape.Vertices != 1<<13 {
+		t.Fatalf("pagerank defaults = %+v", c)
+	}
+}
+
+func TestGraphWorkloadsRejectBadShapes(t *testing.T) {
+	if _, _, err := NewBFS(BFSConfig{Shape: GraphShape{Family: "torus"}}).Build(); err == nil {
+		t.Fatalf("unknown family accepted")
+	}
+	if _, _, err := NewSSSP(SSSPConfig{Source: -5}).Build(); err == nil {
+		t.Fatalf("bad source accepted")
+	}
+}
+
+func TestGraphWorkloadDeterministicRebuild(t *testing.T) {
+	build := func() (int, int64, int64) {
+		d, _, err := NewBFS(BFSConfig{Shape: tinyShape("rmat")}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.NumTasks(), d.TotalInstrs(), d.TotalRefs()
+	}
+	t1, i1, r1 := build()
+	t2, i2, r2 := build()
+	if t1 != t2 || i1 != i2 || r1 != r2 {
+		t.Fatalf("bfs rebuild differs: (%d,%d,%d) vs (%d,%d,%d)", t1, i1, r1, t2, i2, r2)
+	}
+}
+
+func TestGraphWorkloadGranularityKnob(t *testing.T) {
+	coarseShape := tinyShape("uniform")
+	coarseShape.EdgesPerTask = 1 << 20
+	fineShape := tinyShape("uniform")
+	fineShape.EdgesPerTask = 128
+	coarse, _, err := NewBFS(BFSConfig{Shape: coarseShape}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _, err := NewBFS(BFSConfig{Shape: fineShape}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.NumTasks() <= coarse.NumTasks() {
+		t.Fatalf("EdgesPerTask knob has no effect: fine=%d coarse=%d", fine.NumTasks(), coarse.NumTasks())
+	}
+}
+
+func TestGraphWorkloadTaskNames(t *testing.T) {
+	d, _, err := NewPageRank(PageRankConfig{Shape: tinyShape("uniform"), Iterations: 2}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gathers int
+	for _, task := range d.Tasks() {
+		if strings.HasPrefix(task.Name, "pagerank-i") {
+			gathers++
+		}
+	}
+	if gathers < 2 {
+		t.Fatalf("pagerank gather tasks = %d", gathers)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cmpsched/internal/dag"
+	"cmpsched/internal/imath"
 	"cmpsched/internal/refs"
 	"cmpsched/internal/taskgroup"
 )
@@ -220,7 +221,7 @@ func (b *msBuilder) sort(parent *taskgroup.Node, lo, n int64, depth int, dstA bo
 // region and writing the destination region (the two buffers alternate), so
 // the task's working set is 2*nBytes, matching the paper's accounting.
 func (b *msBuilder) leafSort(lo, n int64, depth int, dstA bool) dag.TaskID {
-	passes := log2Ceil(n)
+	passes := imath.Log2Ceil(n)
 	if passes < 1 {
 		passes = 1
 	}
@@ -245,9 +246,9 @@ func (b *msBuilder) leafSort(lo, n int64, depth int, dstA bool) dag.TaskID {
 // MergeTasksPerLevel tasks per DAG level in aggregate.
 func (b *msBuilder) parallelMerge(group *taskgroup.Node, lo, n int64, depth int, dstA bool) []dag.TaskID {
 	nBytes := n * b.cfg.ElemBytes
-	mergesAtLevel := maxI64(1, b.totalBytes/nBytes)
-	k := ceilDiv(n, b.mergeChunkElems())
-	if minK := ceilDiv(b.cfg.MergeTasksPerLevel, mergesAtLevel); k < minK {
+	mergesAtLevel := imath.Max(1, b.totalBytes/nBytes)
+	k := imath.CeilDiv(n, b.mergeChunkElems())
+	if minK := imath.CeilDiv(b.cfg.MergeTasksPerLevel, mergesAtLevel); k < minK {
 		k = minK
 	}
 	if k > n {
@@ -258,9 +259,9 @@ func (b *msBuilder) parallelMerge(group *taskgroup.Node, lo, n int64, depth int,
 	}
 	perLine := b.instrsPerLine(b.cfg.MergeInstrsPerElem)
 	ids := make([]dag.TaskID, 0, k)
-	chunk := ceilDiv(n, k)
+	chunk := imath.CeilDiv(n, k)
 	for start := int64(0); start < n; start += chunk {
-		cnt := minI64(chunk, n-start)
+		cnt := imath.Min(chunk, n-start)
 		// A merge task reads roughly cnt elements spread over the two
 		// source halves and writes cnt output elements. We model the
 		// reads as two scans of cnt/2 elements at the matching offsets
@@ -272,8 +273,8 @@ func (b *msBuilder) parallelMerge(group *taskgroup.Node, lo, n int64, depth int,
 		halfBytes := (cnt/2 + 1) * b.cfg.ElemBytes
 		search := &refs.Strided{
 			Base:         srcLoAddr,
-			StrideBytes:  maxI64(b.cfg.LineBytes, nBytes/16),
-			Count:        minI64(8, maxI64(1, log2Ceil(n))),
+			StrideBytes:  imath.Max(b.cfg.LineBytes, nBytes/16),
+			Count:        imath.Min(8, imath.Max(1, imath.Log2Ceil(n))),
 			InstrsPerRef: 12,
 		}
 		gen := refs.NewWithTail(refs.NewConcat(

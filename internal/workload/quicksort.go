@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"cmpsched/internal/dag"
+	"cmpsched/internal/imath"
+	"cmpsched/internal/prng"
 	"cmpsched/internal/refs"
 	"cmpsched/internal/taskgroup"
 )
@@ -98,7 +100,7 @@ func (q *Quicksort) Build() (*dag.DAG, *taskgroup.Tree, error) {
 	}
 	d := dag.New(fmt.Sprintf("quicksort-%dK", c.Elements>>10))
 	tree := taskgroup.New("quicksort")
-	b := &qsBuilder{cfg: c, d: d, tree: tree, rngState: c.Seed}
+	b := &qsBuilder{cfg: c, d: d, tree: tree, rng: prng.SplitMix64{State: c.Seed}}
 	b.sort(tree.Root, 0, c.Elements, 0)
 	if err := d.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("workload: quicksort: %w", err)
@@ -110,21 +112,16 @@ func (q *Quicksort) Build() (*dag.DAG, *taskgroup.Tree, error) {
 }
 
 type qsBuilder struct {
-	cfg      QuicksortConfig
-	d        *dag.DAG
-	tree     *taskgroup.Tree
-	rngState uint64
+	cfg  QuicksortConfig
+	d    *dag.DAG
+	tree *taskgroup.Tree
+	rng  prng.SplitMix64
 }
 
 // splitFraction returns a deterministic pseudo-random fraction in
 // [MinSplit, MaxSplit].
 func (b *qsBuilder) splitFraction() float64 {
-	b.rngState += 0x9e3779b97f4a7c15
-	z := b.rngState
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	u := float64(z>>11) / float64(1<<53)
+	u := float64(b.rng.Next()>>11) / float64(1<<53)
 	return b.cfg.MinSplit + u*(b.cfg.MaxSplit-b.cfg.MinSplit)
 }
 
@@ -149,7 +146,7 @@ func (b *qsBuilder) sort(parent *taskgroup.Node, lo, n int64, depth int) (entry 
 
 	if n <= b.cfg.LeafElems {
 		addr, bytes := b.region(lo, n)
-		passes := maxI64(1, log2Ceil(n))
+		passes := imath.Max(1, imath.Log2Ceil(n))
 		onePass := refs.NewConcat(
 			&refs.Scan{Base: addr, Bytes: bytes, LineBytes: b.cfg.LineBytes, InstrsPerRef: b.instrsPerLine(b.cfg.SortInstrsPerElem)},
 			&refs.Scan{Base: addr, Bytes: bytes, LineBytes: b.cfg.LineBytes, Write: true, InstrsPerRef: b.instrsPerLine(b.cfg.SortInstrsPerElem) / 2},

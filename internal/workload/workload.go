@@ -1,7 +1,9 @@
 // Package workload generates the benchmark computation DAGs studied in the
 // paper as synthetic DAG + memory-reference models: Mergesort, Hash Join and
 // LU (the three benchmarks analysed in detail in §5), plus Matrix Multiply,
-// Quicksort and a Heat stencil from the broader benchmark suite (§5.5).
+// Quicksort and a Heat stencil from the broader benchmark suite (§5.5), and
+// the irregular graph kernels (BFS, SSSP, PageRank, triangle counting) that
+// extend the study to data-dependent access patterns.
 //
 // Each workload builds (a) a computation DAG whose tasks carry reference
 // streams modelling the data structures and access patterns of the original
@@ -18,6 +20,8 @@ package workload
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"cmpsched/internal/dag"
 	"cmpsched/internal/taskgroup"
@@ -53,67 +57,73 @@ const (
 // are emitted; it matches Table 1's 128-byte lines.
 const DefaultLineBytes int64 = 128
 
-// New constructs a workload by name with its default (scaled) parameters.
-// Recognised names: mergesort, hashjoin, lu, matmul, cholesky, quicksort,
-// heat.
+// Factory constructs a workload instance with its default (scaled)
+// parameters.
+type Factory func() Workload
+
+// registry maps workload names to factories.  Workload files self-register
+// from init functions, so the table — not a hardcoded switch — decides what
+// New accepts and what Names reports.  The mutex also admits late
+// registrations (the facade exports Register), e.g. from a program that
+// adds a custom workload while sweeps run on other goroutines.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named workload factory.  It panics on duplicate or empty
+// names: both are programming errors in a workload file's init.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("workload: Register requires a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// The classic benchmark suite registers here; the graph kernels register in
+// graph.go.  New workloads only need their own Register call.
+func init() {
+	for _, e := range []struct {
+		name string
+		f    Factory
+	}{
+		{"mergesort", func() Workload { return NewMergesort(MergesortConfig{}) }},
+		{"hashjoin", func() Workload { return NewHashJoin(HashJoinConfig{}) }},
+		{"lu", func() Workload { return NewLU(LUConfig{}) }},
+		{"matmul", func() Workload { return NewMatMul(MatMulConfig{}) }},
+		{"cholesky", func() Workload { return NewCholesky(CholeskyConfig{}) }},
+		{"quicksort", func() Workload { return NewQuicksort(QuicksortConfig{}) }},
+		{"heat", func() Workload { return NewHeat(HeatConfig{}) }},
+	} {
+		Register(e.name, e.f)
+	}
+}
+
+// New constructs a registered workload by name with its default (scaled)
+// parameters. See Names for the available names.
 func New(name string) (Workload, error) {
-	switch name {
-	case "mergesort":
-		return NewMergesort(MergesortConfig{}), nil
-	case "hashjoin":
-		return NewHashJoin(HashJoinConfig{}), nil
-	case "lu":
-		return NewLU(LUConfig{}), nil
-	case "matmul":
-		return NewMatMul(MatMulConfig{}), nil
-	case "cholesky":
-		return NewCholesky(CholeskyConfig{}), nil
-	case "quicksort":
-		return NewQuicksort(QuicksortConfig{}), nil
-	case "heat":
-		return NewHeat(HeatConfig{}), nil
-	default:
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q (want one of %v)", name, Names())
 	}
+	return f(), nil
 }
 
-// Names lists the available workloads.
+// Names lists the registered workloads in sorted order.
 func Names() []string {
-	return []string{"mergesort", "hashjoin", "lu", "matmul", "cholesky", "quicksort", "heat"}
-}
-
-// ceilDiv returns ceil(a/b) for positive b.
-func ceilDiv(a, b int64) int64 {
-	if b <= 0 {
-		return 0
+	registryMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
 	}
-	return (a + b - 1) / b
-}
-
-// log2Ceil returns ceil(log2(n)) for n >= 1.
-func log2Ceil(n int64) int64 {
-	if n <= 1 {
-		return 0
-	}
-	var l int64
-	v := int64(1)
-	for v < n {
-		v <<= 1
-		l++
-	}
-	return l
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	registryMu.RUnlock()
+	sort.Strings(names)
+	return names
 }

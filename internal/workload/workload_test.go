@@ -354,14 +354,29 @@ func TestReferenceStreamsAreReplayable(t *testing.T) {
 	}
 }
 
-func TestHelperMath(t *testing.T) {
-	if ceilDiv(10, 3) != 4 || ceilDiv(9, 3) != 3 || ceilDiv(1, 0) != 0 {
-		t.Fatalf("ceilDiv wrong")
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		fn()
 	}
-	if log2Ceil(1) != 0 || log2Ceil(2) != 1 || log2Ceil(3) != 2 || log2Ceil(1024) != 10 {
-		t.Fatalf("log2Ceil wrong")
+	mustPanic("duplicate", func() { Register("mergesort", func() Workload { return nil }) })
+	mustPanic("empty name", func() { Register("", func() Workload { return nil }) })
+	mustPanic("nil factory", func() { Register("x", nil) })
+}
+
+func TestUnknownWorkloadErrorListsNames(t *testing.T) {
+	_, err := New("bogus")
+	if err == nil {
+		t.Fatalf("unknown workload accepted")
 	}
-	if maxI64(3, 5) != 5 || minI64(3, 5) != 3 {
-		t.Fatalf("min/max wrong")
+	for _, name := range []string{"mergesort", "bfs", "pagerank"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
 	}
 }
