@@ -1,6 +1,10 @@
 GO ?= go
+# bash + pipefail so piped recipes (bench) fail when go test fails, not
+# just when the final pipeline stage does.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build test race-sweep vet fmt-check lint bench-quick ci clean
+.PHONY: all build test race-sweep vet fmt-check lint bench bench-quick ci clean
 
 all: build
 
@@ -26,6 +30,19 @@ fmt-check:
 	fi
 
 lint: fmt-check vet
+
+# The simulator benchmark suite -> BENCH_simulator.json: ns/op, B/op,
+# allocs/op and the shape metrics (L2-MPKI etc.) for every Simulate*
+# benchmark, in benchstat-comparable form (each entry keeps its raw line).
+# CI runs this as a non-gating step so the perf trajectory accumulates per
+# commit; compare two commits with
+#   jq -r '.benchmarks[].raw' old.json > old.txt   (and likewise new)
+#   benchstat old.txt new.txt
+BENCH ?= BenchmarkSimulate
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_simulator.json
 
 # The full benchmark suite at quick scale: one iteration per benchmark so
 # the figure benchmarks, the sweep-engine serial/parallel/cached trio and

@@ -204,6 +204,7 @@ func simFixture(b *testing.B) *DAG {
 func BenchmarkSimulateMergesortPDF(b *testing.B) {
 	d := simFixture(b)
 	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cmpsim.Run(d, sched.NewPDF(), cfg); err != nil {
@@ -215,6 +216,7 @@ func BenchmarkSimulateMergesortPDF(b *testing.B) {
 func BenchmarkSimulateMergesortWS(b *testing.B) {
 	d := simFixture(b)
 	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cmpsim.Run(d, sched.NewWS(), cfg); err != nil {
@@ -235,6 +237,7 @@ func benchmarkSimulateTopology(b *testing.B, topo CacheTopology) {
 	d := simFixture(b)
 	cfg := DefaultConfig(8).Scaled(DefaultScale * 8).WithTopology(topo)
 	var mpki float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := cmpsim.Run(d, sched.NewPDF(), cfg)
@@ -278,6 +281,7 @@ func benchmarkSimulateGraph(b *testing.B, w Workload, s Scheduler) {
 	d := graphFixture(b, w.Build)
 	cfg := DefaultConfig(8).Scaled(DefaultScale * 8)
 	var mpki float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := cmpsim.Run(d, s, cfg)

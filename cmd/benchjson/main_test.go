@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cmpsched
+cpu: AMD EPYC 7B13
+BenchmarkSimulateMergesortPDF  	      30	  37315743 ns/op	  136560 B/op	    2628 allocs/op
+BenchmarkSimulateBFSUniformPDF 	      57	  20880773 ns/op	        86.43 L2-MPKI	   26229 B/op	     129 allocs/op
+PASS
+ok  	cmpsched	12.3s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || report.Pkg != "cmpsched" || report.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header = %+v", report)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	ms := report.Benchmarks[0]
+	if ms.Name != "BenchmarkSimulateMergesortPDF" || ms.Iterations != 30 {
+		t.Fatalf("benchmark 0 = %+v", ms)
+	}
+	if ms.Metrics["ns/op"] != 37315743 || ms.Metrics["allocs/op"] != 2628 {
+		t.Fatalf("metrics 0 = %+v", ms.Metrics)
+	}
+	bfs := report.Benchmarks[1]
+	if bfs.Metrics["L2-MPKI"] != 86.43 {
+		t.Fatalf("custom metric not kept: %+v", bfs.Metrics)
+	}
+	if !strings.Contains(bfs.Raw, "20880773 ns/op") {
+		t.Fatalf("raw line not preserved: %q", bfs.Raw)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnlyName",
+		"BenchmarkNoIters abc 1 ns/op",
+		"BenchmarkOddFields 10 123 ns/op extra",
+		"BenchmarkBadValue 10 abc ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
+	"cmpsched/internal/pprofio"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/workload"
 )
@@ -40,8 +41,17 @@ func main() {
 		topology     = flag.String("topology", "shared", "cache topology: shared, private or clustered:<k> (k cores per L2 slice)")
 		compare      = flag.Bool("compare", false, "run PDF, WS and the sequential baseline and compare")
 		taskWS       = flag.Int64("taskws", 0, "mergesort task working-set bytes (0 = default)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	flush, err := pprofio.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	flushProfiles = flush
+	defer flushProfiles()
 
 	topo, err := cache.ParseTopology(*topology)
 	if err != nil {
@@ -158,7 +168,14 @@ func printResult(res *cmpsim.Result) {
 	}
 }
 
+// flushProfiles is pprofio.Start's idempotent flush; fatal must run it
+// before os.Exit (which skips defers) or an error exit — e.g. a MaxCycles
+// abort, exactly the kind of run a user profiles — would leave a
+// truncated, unparseable profile.
+var flushProfiles = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cmpsim:", err)
+	flushProfiles()
 	os.Exit(1)
 }

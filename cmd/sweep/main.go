@@ -28,6 +28,7 @@ import (
 
 	"cmpsched/internal/config"
 	"cmpsched/internal/experiments"
+	"cmpsched/internal/pprofio"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/stats"
 	"cmpsched/internal/sweep"
@@ -50,6 +51,8 @@ func main() {
 		format     = flag.String("format", "table", "output format: table, csv or json")
 		out        = flag.String("o", "", "output file (empty = stdout)")
 		verbose    = flag.Bool("v", false, "log each completed job to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -57,6 +60,13 @@ func main() {
 		printAvailable(os.Stdout)
 		return
 	}
+
+	flush, err := pprofio.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	flushProfiles = flush
+	defer flushProfiles()
 
 	switch *format {
 	case "table", "csv", "json":
@@ -74,7 +84,6 @@ func main() {
 		Sequential: *seq,
 		Factory:    experiments.Options{Scale: *scale, Quick: *quick}.WorkloadFactory(),
 	}
-	var err error
 	if spec.Cores, err = parseInts(*cores); err != nil {
 		fatalf("bad -cores: %v", err)
 	}
@@ -214,7 +223,13 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// flushProfiles is pprofio.Start's idempotent flush; fatalf must run it
+// before os.Exit (which skips defers) so failed sweeps still leave
+// parseable profiles.
+var flushProfiles = func() {}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	flushProfiles()
 	os.Exit(1)
 }

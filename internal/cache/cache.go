@@ -99,15 +99,29 @@ type way struct {
 
 // Cache is a set-associative cache with true-LRU replacement and a
 // write-back, write-allocate policy.
+//
+// The ways of all sets live in one flat set-major array (set i occupies
+// ways[i*assoc : (i+1)*assoc]), and line/set arithmetic uses shifts and
+// masks whenever the line size and set count are powers of two — every
+// access otherwise pays two hardware integer divisions, which dominated the
+// simulator's profile.  Neither change affects classification: the modelled
+// geometry and LRU behaviour are identical.
 type Cache struct {
 	cfg     Config
-	sets    [][]way
+	ways    []way
+	assoc   int
+	numSets int
 	setMask uint64
 	clock   uint64
 	stats   Stats
 	// power2 records whether the set count is a power of two, enabling
 	// mask-based indexing.
 	power2 bool
+	// linePow2/lineShift/lineMask enable shift/mask line arithmetic when
+	// LineBytes is a power of two.
+	linePow2  bool
+	lineShift uint
+	lineMask  uint64
 }
 
 // AccessResult describes the outcome of a single cache access.
@@ -130,15 +144,21 @@ func New(cfg Config) (*Cache, error) {
 	}
 	n := cfg.Sets()
 	c := &Cache{
-		cfg:    cfg,
-		sets:   make([][]way, n),
-		power2: n&(n-1) == 0,
+		cfg:     cfg,
+		ways:    make([]way, n*cfg.Assoc),
+		assoc:   cfg.Assoc,
+		numSets: n,
+		power2:  n&(n-1) == 0,
 	}
 	if c.power2 {
 		c.setMask = uint64(n - 1)
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+	if lb := uint64(cfg.LineBytes); lb&(lb-1) == 0 {
+		c.linePow2 = true
+		c.lineMask = ^(lb - 1)
+		for 1<<c.lineShift < lb {
+			c.lineShift++
+		}
 	}
 	return c, nil
 }
@@ -163,22 +183,36 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // lineAddr returns the base address of the line containing addr.
 func (c *Cache) lineAddr(addr uint64) uint64 {
+	if c.linePow2 {
+		return addr & c.lineMask
+	}
 	return addr - addr%uint64(c.cfg.LineBytes)
 }
 
 func (c *Cache) setIndex(lineAddr uint64) int {
-	idx := lineAddr / uint64(c.cfg.LineBytes)
+	var idx uint64
+	if c.linePow2 {
+		idx = lineAddr >> c.lineShift
+	} else {
+		idx = lineAddr / uint64(c.cfg.LineBytes)
+	}
 	if c.power2 {
 		return int(idx & c.setMask)
 	}
-	return int(idx % uint64(len(c.sets)))
+	return int(idx % uint64(c.numSets))
+}
+
+// set returns the ways of the set holding lineAddr.
+func (c *Cache) set(lineAddr uint64) []way {
+	si := c.setIndex(lineAddr)
+	return c.ways[si*c.assoc : (si+1)*c.assoc]
 }
 
 // Access performs a read or write of addr, allocating on miss, and returns
 // the outcome.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	la := c.lineAddr(addr)
-	set := c.sets[c.setIndex(la)]
+	set := c.set(la)
 	c.clock++
 	c.stats.Accesses++
 	if write {
@@ -231,7 +265,7 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 // affecting LRU state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)
-	set := c.sets[c.setIndex(la)]
+	set := c.set(la)
 	for i := range set {
 		if set[i].valid && set[i].tag == la {
 			return true
@@ -244,7 +278,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // was present and dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	la := c.lineAddr(addr)
-	set := c.sets[c.setIndex(la)]
+	set := c.set(la)
 	for i := range set {
 		if set[i].valid && set[i].tag == la {
 			present = true
@@ -259,13 +293,11 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // Flush invalidates every line, returning the number of dirty lines that
 // would have been written back.
 func (c *Cache) Flush() (dirty int64) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
-				dirty++
-			}
-			c.sets[si][wi] = way{}
+	for i := range c.ways {
+		if c.ways[i].valid && c.ways[i].dirty {
+			dirty++
 		}
+		c.ways[i] = way{}
 	}
 	return dirty
 }
@@ -273,11 +305,9 @@ func (c *Cache) Flush() (dirty int64) {
 // OccupiedLines returns the number of valid lines currently resident.
 func (c *Cache) OccupiedLines() int64 {
 	var n int64
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].valid {
-				n++
-			}
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
 		}
 	}
 	return n

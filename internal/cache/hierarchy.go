@@ -73,7 +73,8 @@ type Hierarchy struct {
 	cfg      HierarchyConfig
 	l1s      []*Cache
 	l2s      []*Cache
-	sliceOf  []int // core -> L2 slice index
+	sliceOf  []int      // core -> L2 slice index
+	sliceL1s [][]*Cache // slice -> the L1s of the cores it serves
 	sliceCfg Config
 	dir      map[uint64]uint64 // line -> bitmask of cores with an L1 copy
 	invs     int64
@@ -108,8 +109,11 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		h.l2s = append(h.l2s, l2)
 	}
 	h.sliceOf = make([]int, cfg.Cores)
+	h.sliceL1s = make([][]*Cache, slices)
 	for c := 0; c < cfg.Cores; c++ {
-		h.sliceOf[c] = cfg.Topology.SliceOf(c, cfg.Cores)
+		s := cfg.Topology.SliceOf(c, cfg.Cores)
+		h.sliceOf[c] = s
+		h.sliceL1s[s] = append(h.sliceL1s[s], h.l1s[c])
 	}
 	if cfg.WriteInvalidate {
 		h.dir = make(map[uint64]uint64)
@@ -152,11 +156,11 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 	out := HierarchyAccess{Slice: slice}
 	l1 := h.l1s[core]
 	l2 := h.l2s[slice]
-	line := addr - addr%uint64(h.cfg.L2.LineBytes)
 
 	r1 := l1.Access(addr, write)
 	out.L1Evicted = r1.Evicted
 	if h.dir != nil {
+		line := addr - addr%uint64(h.cfg.L2.LineBytes)
 		h.trackL1(core, addr, line, write, r1, &out)
 	}
 	if r1.Hit {
@@ -179,10 +183,8 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 		// Inclusive L2 slices: drop any stale L1 copies of the victim line
 		// held by the cores this slice serves, so the model never holds
 		// lines absent from their backing slice.
-		for c, l1c := range h.l1s {
-			if h.sliceOf[c] == slice {
-				l1c.Invalidate(r2.EvictedAddr)
-			}
+		for _, l1c := range h.sliceL1s[slice] {
+			l1c.Invalidate(r2.EvictedAddr)
 		}
 		if h.dir != nil {
 			h.dropDir(r2.EvictedAddr, slice)

@@ -16,16 +16,28 @@
 // in the shared L2 and compete for off-chip bandwidth in simulated-time
 // order, which is what produces the constructive (or destructive) cache
 // sharing behaviour the schedulers are being compared on.
+//
+// The engine is built for throughput (see DESIGN.md, "Event engine"):
+// because a core has at most one pending event, the event queue is a typed
+// index min-heap sized to the core count with zero-allocation slice pushes
+// and pops; a same-core lookahead keeps executing a core's references inline
+// while their completion times precede every other core's pending event (so
+// L1-hit bursts never touch the heap); and reference streams are drained in
+// refs.BlockSize batches through refs.ReadBlock, amortising the generators'
+// dynamic dispatch.  All three are pure reorderings of identical work: event
+// processing order, and therefore every cycle count and cache statistic, is
+// bit-identical to the straightforward heap-per-event engine (pinned by
+// TestGoldenEngineEquivalence).
 package cmpsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cmpsched/internal/cache"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
 	"cmpsched/internal/memsys"
+	"cmpsched/internal/minheap"
 	"cmpsched/internal/refs"
 	"cmpsched/internal/sched"
 )
@@ -174,43 +186,41 @@ func RunSequentialWithOptions(d *dag.DAG, cfg config.CMP, opts Options) (*Result
 }
 
 // event is a pending simulator event: core is ready to proceed at time.
+//
+// A core has at most one pending event (it is pushed when the core starts a
+// task or finishes a memory access, and consumed before the next is pushed),
+// so (time, core) is already a strict total order and no FIFO sequence
+// number is needed: the pop order is identical to the historical
+// (time, core, push-sequence) order.  The one-event-per-core invariant also
+// bounds the queue at the core count, so the minheap backing array is
+// allocated once and never grows.
 type event struct {
 	time int64
-	core int
-	seq  int64 // FIFO tie-break for determinism
+	core int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].core != h[j].core {
-		return h[i].core < h[j].core
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// Less orders events by (time, core); it is the minheap.Ordered method.
+func (e event) Less(other event) bool {
+	return e.time < other.time || (e.time == other.time && e.core < other.core)
 }
 
-// coreState tracks what a core is doing.
+// coreState tracks what a core is doing.  The task pointer and generator
+// are cached at assignment so the per-reference loop never re-resolves them
+// through the DAG, and each core drains its generator through a private
+// block buffer (refilled by refs.ReadBlock) so generator dispatch is paid
+// once per refs.BlockSize references instead of once per reference.
 type coreState struct {
 	busy      bool
-	task      dag.TaskID
-	finishing bool  // refs exhausted, waiting for trailing instructions
+	finishing bool // refs exhausted, waiting for trailing instructions
+	task      *dag.Task
+	gen       refs.Gen
 	consumed  int64 // instructions charged for the current task so far
 	start     int64 // cycle the current task started
 	l2Misses  int64
 	refs      int64
+
+	buf            []refs.Ref // block buffer (slice of the run's arena)
+	bufPos, bufLen int
 }
 
 // RunWithOptions simulates d on cfg under scheduler s.
@@ -263,12 +273,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		taskStats = make([]TaskStat, n)
 	}
 
-	events := &eventHeap{}
-	var eventSeq int64
-	push := func(t int64, core int) {
-		eventSeq++
-		heap.Push(events, event{time: t, core: core, seq: eventSeq})
+	// One arena backs every core's block buffer; slicing it keeps the
+	// steady-state loop free of allocations.
+	bufArena := make([]refs.Ref, p*refs.BlockSize)
+	for c := range cores {
+		cores[c].buf = bufArena[c*refs.BlockSize : (c+1)*refs.BlockSize]
 	}
+
+	events := minheap.New[event](p)
 
 	completed := 0
 	l1Lat := cfg.L1.HitLatency
@@ -288,11 +300,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 			if !ok {
 				return
 			}
-			cores[c] = coreState{busy: true, task: id, start: now}
-			if t := d.Task(id); t.Refs != nil {
+			t := d.Task(id)
+			if t.Refs != nil {
 				t.Refs.Reset()
 			}
-			push(now, c)
+			st := &cores[c]
+			buf := st.buf
+			*st = coreState{busy: true, task: t, gen: t.Refs, start: now, buf: buf}
+			events.Push(event{time: now, core: int32(c)})
 		}
 		if prefer >= 0 && prefer < p {
 			tryCore(prefer)
@@ -310,90 +325,125 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		return nil, fmt.Errorf("cmpsim: DAG %q has no root tasks", d.Name)
 	}
 	s.MakeReady(-1, roots)
+
+	// ready is reused across completions; its capacity is the DAG's largest
+	// fan-out, so the steady-state loop never regrows it.
+	maxOut := 0
+	for _, t := range d.Tasks() {
+		if len(t.Succs) > maxOut {
+			maxOut = len(t.Succs)
+		}
+	}
+	ready := make([]dag.TaskID, 0, maxOut)
+
 	assign(0, -1)
 
 	var now int64
 	for events.Len() > 0 {
-		ev := heap.Pop(events).(event)
+		ev := events.Pop()
 		now = ev.time
-		if now > maxCycles {
-			return nil, fmt.Errorf("cmpsim: exceeded MaxCycles=%d (deadlock or runaway workload?)", maxCycles)
-		}
-		c := ev.core
+		c := int(ev.core)
 		st := &cores[c]
-		if !st.busy {
-			// Stale event (should not happen); ignore defensively.
-			continue
-		}
-		task := d.Task(st.task)
 
-		if !st.finishing {
-			var ref refs.Ref
-			var ok bool
-			if task.Refs != nil {
-				ref, ok = task.Refs.Next()
+		// Process core c inline for as long as it remains the earliest
+		// event.  Each iteration is exactly one historical event (a memory
+		// access completing, the trailing instructions completing, or the
+		// task completing); the loop continues without heap traffic when
+		// the step's completion time still precedes every other core's
+		// pending event under the (time, core) order — the same-core
+		// lookahead that keeps L1-hit bursts out of the heap.
+		for {
+			if now > maxCycles {
+				return nil, fmt.Errorf("cmpsim: exceeded MaxCycles=%d (deadlock or runaway workload?)", maxCycles)
 			}
-			if ok {
-				issue := now + ref.Instrs
-				st.consumed += ref.Instrs
-				st.refs++
-				acc := hier.Access(c, ref.Addr, ref.Write)
-				var done int64
-				switch acc.Level {
-				case cache.LevelL1:
-					done = issue + l1Lat
-				case cache.LevelL2:
-					done = issue + l1Lat + l2Lat
-					// Dirty L2 victims displaced by an L1 write-back
-					// still consume off-chip bandwidth.
-					for i := 0; i < acc.OffChipTransfers; i++ {
-						arb.Writeback(acc.Slice, issue)
-					}
-				case cache.LevelMemory:
-					st.l2Misses++
-					for i := 1; i < acc.OffChipTransfers; i++ {
-						arb.Writeback(acc.Slice, issue)
-					}
-					done = arb.Fetch(acc.Slice, issue+l1Lat+l2Lat)
+			if !st.busy {
+				// Stale event (should not happen); ignore defensively.
+				break
+			}
+
+			if !st.finishing {
+				if st.bufPos == st.bufLen && st.gen != nil {
+					// Refill the block buffer.  A zero return means the
+					// stream is exhausted; a short non-zero block does not.
+					st.bufLen = refs.ReadBlock(st.gen, st.buf)
+					st.bufPos = 0
 				}
-				busyCycles[c] += done - now
-				push(done, c)
-				continue
+				if st.bufPos < st.bufLen {
+					ref := st.buf[st.bufPos]
+					st.bufPos++
+					issue := now + ref.Instrs
+					st.consumed += ref.Instrs
+					st.refs++
+					acc := hier.Access(c, ref.Addr, ref.Write)
+					var done int64
+					switch acc.Level {
+					case cache.LevelL1:
+						done = issue + l1Lat
+					case cache.LevelL2:
+						done = issue + l1Lat + l2Lat
+						// Dirty L2 victims displaced by an L1 write-back
+						// still consume off-chip bandwidth.
+						for i := 0; i < acc.OffChipTransfers; i++ {
+							arb.Writeback(acc.Slice, issue)
+						}
+					case cache.LevelMemory:
+						st.l2Misses++
+						for i := 1; i < acc.OffChipTransfers; i++ {
+							arb.Writeback(acc.Slice, issue)
+						}
+						done = arb.Fetch(acc.Slice, issue+l1Lat+l2Lat)
+					}
+					busyCycles[c] += done - now
+					if events.Len() == 0 || (event{time: done, core: ev.core}).Less(events.Min()) {
+						now = done
+						continue
+					}
+					events.Push(event{time: done, core: ev.core})
+					break
+				}
+				// References exhausted: charge the trailing instructions.
+				tail := st.task.Instrs - st.consumed
+				if tail < 0 {
+					tail = 0
+				}
+				st.finishing = true
+				busyCycles[c] += tail
+				done := now + tail
+				if events.Len() == 0 || (event{time: done, core: ev.core}).Less(events.Min()) {
+					now = done
+					continue
+				}
+				events.Push(event{time: done, core: ev.core})
+				break
 			}
-			// References exhausted: charge the trailing instructions.
-			tail := task.Instrs - st.consumed
-			if tail < 0 {
-				tail = 0
-			}
-			st.finishing = true
-			busyCycles[c] += tail
-			push(now+tail, c)
-			continue
-		}
 
-		// Task completion.
-		if taskStats != nil {
-			taskStats[task.ID] = TaskStat{
-				Core:     c,
-				Start:    st.start,
-				End:      now,
-				L2Misses: st.l2Misses,
-				Refs:     st.refs,
+			// Task completion.
+			task := st.task
+			if taskStats != nil {
+				taskStats[task.ID] = TaskStat{
+					Core:     c,
+					Start:    st.start,
+					End:      now,
+					L2Misses: st.l2Misses,
+					Refs:     st.refs,
+				}
 			}
-		}
-		completed++
-		var ready []dag.TaskID
-		for _, succ := range task.Succs {
-			indeg[succ]--
-			if indeg[succ] == 0 {
-				ready = append(ready, succ)
+			completed++
+			ready = ready[:0]
+			for _, succ := range task.Succs {
+				indeg[succ]--
+				if indeg[succ] == 0 {
+					ready = append(ready, succ)
+				}
 			}
+			buf := st.buf
+			*st = coreState{buf: buf}
+			if len(ready) > 0 {
+				s.MakeReady(c, ready)
+			}
+			assign(now, c)
+			break
 		}
-		cores[c] = coreState{}
-		if len(ready) > 0 {
-			s.MakeReady(c, ready)
-		}
-		assign(now, c)
 	}
 
 	if completed != n {

@@ -98,7 +98,10 @@ func (t *trace) span(addr uint64, bytes int64, write bool, instrsPerLine int64) 
 }
 
 // gen finalises the trace into a replayable generator, charging tail
-// instructions (plus any pending ones) after the final reference.
+// instructions (plus any pending ones) after the final reference.  The
+// returned generator is a refs.Points, so it serves the simulator's batched
+// reader (refs.Bulk) natively and its instruction total is computed once at
+// construction rather than on every Instrs call.
 func (t *trace) gen(tail int64) refs.Gen {
 	return refs.NewPoints(t.refs, tail+t.pending)
 }

@@ -1,0 +1,75 @@
+package minheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type intItem int
+
+func (a intItem) Less(b intItem) bool { return a < b }
+
+func TestHeapSortsAndZeroValueWorks(t *testing.T) {
+	var h Heap[intItem] // zero value usable
+	r := rand.New(rand.NewSource(1))
+	const n = 1000
+	want := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		v := r.Intn(10 * n)
+		h.Push(intItem(v))
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	if int(h.Min()) != want[0] {
+		t.Fatalf("Min = %d, want %d", h.Min(), want[0])
+	}
+	for i, w := range want {
+		if got := int(h.Pop()); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after drain = %d", h.Len())
+	}
+}
+
+func TestHeapInterleavedPushPop(t *testing.T) {
+	h := New[intItem](4)
+	h.Push(5)
+	h.Push(1)
+	h.Push(3)
+	if got := h.Pop(); got != 1 {
+		t.Fatalf("Pop = %d, want 1", got)
+	}
+	h.Push(2)
+	h.Push(0)
+	for _, w := range []intItem{0, 2, 3, 5} {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+	h.Push(7)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+}
+
+func TestPushIsAllocationFreeAfterWarmup(t *testing.T) {
+	h := New[intItem](64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.Push(intItem(64 - i))
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop cycle allocated %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,78 @@
+// Package pprofio wires the standard -cpuprofile / -memprofile flags into
+// the repository's commands, so simulator hot-path work is measurable with
+// `go tool pprof` without editing code.  The flags follow the conventions of
+// `go test`: the CPU profile covers the span between Start and the returned
+// stop function, and the heap profile is written after a forced GC so it
+// reflects live objects rather than garbage.
+package pprofio
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start wires both flags at once: it begins the CPU profile (when cpuPath
+// is non-empty) and returns an idempotent flush that stops it and writes
+// the heap profile (when memPath is non-empty).  Commands call flush from
+// both a defer and their fatal path — os.Exit skips defers, and an
+// unflushed CPU profile is truncated and unparseable, so error exits (the
+// runs users most want to profile) must flush explicitly.  Flush errors are
+// reported on stderr: by then the command is exiting and the profile is
+// best-effort.
+func Start(cpuPath, memPath string) (flush func(), err error) {
+	stopCPU, err := StartCPU(cpuPath)
+	if err != nil {
+		return nil, err
+	}
+	flushed := false
+	return func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		stopCPU()
+		if err := WriteHeap(memPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}, nil
+}
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops the profile and closes the file.  An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pprofio: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pprofio: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path after running a GC.  An empty
+// path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pprofio: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("pprofio: heap profile: %w", err)
+	}
+	return nil
+}

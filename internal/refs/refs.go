@@ -43,6 +43,61 @@ type Gen interface {
 	Next() (r Ref, ok bool)
 }
 
+// Bulk is an optional extension of Gen for consumers that drain references
+// in blocks.  One NextBlock call replaces up to len(buf) dynamic-dispatch
+// Next calls, which is what lets the simulator's inner loop amortise
+// interface-method overhead across a whole block of references.
+//
+// NextBlock and Next may be mixed freely: both advance the same stream
+// position.  Every generator in this package implements Bulk; ReadBlock
+// adapts third-party Gens that do not.
+type Bulk interface {
+	Gen
+	// NextBlock fills buf with the stream's next references and returns
+	// the number produced.  When len(buf) > 0, a return of 0 means the
+	// stream is exhausted; a short (non-zero) return does not.
+	NextBlock(buf []Ref) int
+}
+
+// BlockSize is the batch size block-oriented consumers (the simulator, the
+// profiler's trace reader) use by default.  64 references amortise dispatch
+// to noise while keeping per-core buffers comfortably inside the host L1.
+const BlockSize = 64
+
+// ReadBlock fills buf from g: the Bulk fast path when g implements it, a
+// per-reference Next loop otherwise.  The fallback return contract is the
+// same as Bulk's — 0 from a non-empty buf means exhausted.
+func ReadBlock(g Gen, buf []Ref) int {
+	if b, ok := g.(Bulk); ok {
+		return b.NextBlock(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
+// Every generator in this package implements Bulk, so the simulator's block
+// reader always takes the amortised path for repository workloads.
+var (
+	_ Bulk = Empty{}
+	_ Bulk = Compute{}
+	_ Bulk = (*Points)(nil)
+	_ Bulk = (*Scan)(nil)
+	_ Bulk = (*Strided)(nil)
+	_ Bulk = (*Random)(nil)
+	_ Bulk = (*Concat)(nil)
+	_ Bulk = (*Interleave)(nil)
+	_ Bulk = (*Repeat)(nil)
+	_ Bulk = (*WithTail)(nil)
+)
+
 // intn returns a uniform value in [0, n) drawn from r. n must be > 0.
 func intn(r *prng.SplitMix64, n uint64) uint64 {
 	// Multiply-shift reduction; bias is negligible for our trace sizes.
@@ -80,6 +135,9 @@ func (Empty) Reset() {}
 // Next implements Gen.
 func (Empty) Next() (Ref, bool) { return Ref{}, false }
 
+// NextBlock implements Bulk.
+func (Empty) NextBlock([]Ref) int { return 0 }
+
 // Compute is a generator that retires instructions without touching memory.
 type Compute struct {
 	// N is the number of instructions retired.
@@ -98,30 +156,52 @@ func (Compute) Reset() {}
 // Next implements Gen.
 func (Compute) Next() (Ref, bool) { return Ref{}, false }
 
-// Points replays an explicit list of references.  It is mostly useful in
-// tests and for hand-built micro traces.
+// NextBlock implements Bulk.
+func (Compute) NextBlock([]Ref) int { return 0 }
+
+// Points replays an explicit list of references.  It backs the graph
+// kernels' per-task traces as well as tests and hand-built micro traces, so
+// its streams can run to hundreds of thousands of references.
 type Points struct {
+	// Refs is the reference list.  It must not be mutated after the first
+	// Instrs call: the instruction total is computed once and cached.
 	Refs []Ref
 	// Tail is the number of instructions retired after the final
 	// reference.
 	Tail int64
 	pos  int
+
+	// sum caches the total of Refs[i].Instrs; sumValid guards the first
+	// computation so Instrs is O(1) on every later call (it is called per
+	// task by dag.AddTask, dag.Validate and the coarsening pass).
+	sum      int64
+	sumValid bool
 }
 
 // NewPoints returns a Points generator over refs.
-func NewPoints(refs []Ref, tail int64) *Points { return &Points{Refs: refs, Tail: tail} }
+func NewPoints(refs []Ref, tail int64) *Points {
+	p := &Points{Refs: refs, Tail: tail}
+	p.refSum()
+	return p
+}
 
 // Len implements Gen.
 func (p *Points) Len() int64 { return int64(len(p.Refs)) }
 
-// Instrs implements Gen.
-func (p *Points) Instrs() int64 {
-	total := p.Tail
-	for _, r := range p.Refs {
-		total += r.Instrs
+func (p *Points) refSum() int64 {
+	if !p.sumValid {
+		var total int64
+		for _, r := range p.Refs {
+			total += r.Instrs
+		}
+		p.sum = total
+		p.sumValid = true
 	}
-	return total
+	return p.sum
 }
+
+// Instrs implements Gen.
+func (p *Points) Instrs() int64 { return p.Tail + p.refSum() }
 
 // Reset implements Gen.
 func (p *Points) Reset() { p.pos = 0 }
@@ -134,6 +214,13 @@ func (p *Points) Next() (Ref, bool) {
 	r := p.Refs[p.pos]
 	p.pos++
 	return r, true
+}
+
+// NextBlock implements Bulk.
+func (p *Points) NextBlock(buf []Ref) int {
+	n := copy(buf, p.Refs[p.pos:])
+	p.pos += n
+	return n
 }
 
 // Scan walks a contiguous region sequentially, touching one address per
@@ -201,6 +288,24 @@ func (s *Scan) Next() (Ref, bool) {
 	}, true
 }
 
+// NextBlock implements Bulk.
+func (s *Scan) NextBlock(buf []Ref) int {
+	total := s.Len()
+	lines := s.linesPerPass()
+	n := 0
+	for n < len(buf) && s.pos < total {
+		idx := s.pos % lines
+		buf[n] = Ref{
+			Addr:   s.Base + uint64(idx*s.LineBytes),
+			Write:  s.Write,
+			Instrs: s.InstrsPerRef,
+		}
+		s.pos++
+		n++
+	}
+	return n
+}
+
 // Strided emits Count references starting at Base with a fixed stride.
 type Strided struct {
 	Base         uint64
@@ -233,6 +338,21 @@ func (s *Strided) Next() (Ref, bool) {
 	}
 	s.pos++
 	return r, true
+}
+
+// NextBlock implements Bulk.
+func (s *Strided) NextBlock(buf []Ref) int {
+	n := 0
+	for n < len(buf) && s.pos < s.Count {
+		buf[n] = Ref{
+			Addr:   s.Base + uint64(s.pos*s.StrideBytes),
+			Write:  s.Write,
+			Instrs: s.InstrsPerRef,
+		}
+		s.pos++
+		n++
+	}
+	return n
 }
 
 // Random emits Count references uniformly distributed over a region, aligned
@@ -295,10 +415,43 @@ func (g *Random) Next() (Ref, bool) {
 	}, true
 }
 
+// NextBlock implements Bulk.
+func (g *Random) NextBlock(buf []Ref) int {
+	if g.pos >= g.Count {
+		return 0
+	}
+	if g.r == nil {
+		g.r = &prng.SplitMix64{State: g.Seed}
+	}
+	lb := g.LineBytes
+	if lb <= 0 {
+		lb = 64
+	}
+	lines := g.lines()
+	n := 0
+	for n < len(buf) && g.pos < g.Count {
+		line := intn(g.r, lines)
+		buf[n] = Ref{
+			Addr:   g.Base + line*uint64(lb),
+			Write:  g.Write,
+			Instrs: g.InstrsPerRef,
+		}
+		g.pos++
+		n++
+	}
+	return n
+}
+
 // Concat runs a sequence of generators back to back.
 type Concat struct {
 	gens []Gen
 	idx  int
+
+	// lenSum/instrSum cache the per-child totals, which workload builders
+	// and dag.Validate otherwise recompute per call over what can be a long
+	// child list.  Append invalidates the cache.
+	lenSum, instrSum int64
+	sumsValid        bool
 }
 
 // NewConcat returns a generator replaying gens in order. Nil entries are
@@ -320,24 +473,31 @@ func (c *Concat) Append(gens ...Gen) {
 			c.gens = append(c.gens, g)
 		}
 	}
+	c.sumsValid = false
+}
+
+func (c *Concat) totals() (lenSum, instrSum int64) {
+	if !c.sumsValid {
+		c.lenSum, c.instrSum = 0, 0
+		for _, g := range c.gens {
+			c.lenSum += g.Len()
+			c.instrSum += g.Instrs()
+		}
+		c.sumsValid = true
+	}
+	return c.lenSum, c.instrSum
 }
 
 // Len implements Gen.
 func (c *Concat) Len() int64 {
-	var total int64
-	for _, g := range c.gens {
-		total += g.Len()
-	}
-	return total
+	lenSum, _ := c.totals()
+	return lenSum
 }
 
 // Instrs implements Gen.
 func (c *Concat) Instrs() int64 {
-	var total int64
-	for _, g := range c.gens {
-		total += g.Instrs()
-	}
-	return total
+	_, instrSum := c.totals()
+	return instrSum
 }
 
 // Reset implements Gen.
@@ -357,6 +517,22 @@ func (c *Concat) Next() (Ref, bool) {
 		c.idx++
 	}
 	return Ref{}, false
+}
+
+// NextBlock implements Bulk: each child fills as much of the buffer as it
+// can, and exhausted children advance the cursor, so one call typically
+// returns a full block even across child boundaries.
+func (c *Concat) NextBlock(buf []Ref) int {
+	n := 0
+	for n < len(buf) && c.idx < len(c.gens) {
+		k := ReadBlock(c.gens[c.idx], buf[n:])
+		if k == 0 {
+			c.idx++
+			continue
+		}
+		n += k
+	}
+	return n
 }
 
 // Interleave alternates references from two generators (a, b, a, b, ...)
@@ -397,6 +573,22 @@ func (i *Interleave) Next() (Ref, bool) {
 	return second.Next()
 }
 
+// NextBlock implements Bulk.  The alternation is inherently per-reference,
+// so the block is assembled by Next calls; the consumer still saves its own
+// per-reference dispatch on the outer stream.
+func (i *Interleave) NextBlock(buf []Ref) int {
+	n := 0
+	for n < len(buf) {
+		r, ok := i.Next()
+		if !ok {
+			break
+		}
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
 // Repeat replays an inner generator a fixed number of times, resetting it
 // between rounds.
 type Repeat struct {
@@ -434,6 +626,23 @@ func (r *Repeat) Next() (Ref, bool) {
 	return Ref{}, false
 }
 
+// NextBlock implements Bulk.
+func (r *Repeat) NextBlock(buf []Ref) int {
+	n := 0
+	for n < len(buf) && r.round < r.Times {
+		k := ReadBlock(r.G, buf[n:])
+		if k == 0 {
+			r.round++
+			if r.round < r.Times {
+				r.G.Reset()
+			}
+			continue
+		}
+		n += k
+	}
+	return n
+}
+
 // WithTail wraps a generator and adds trailing instructions after the last
 // reference, e.g. loop epilogues or result combination code.
 type WithTail struct {
@@ -455,6 +664,9 @@ func (w *WithTail) Reset() { w.G.Reset() }
 
 // Next implements Gen.
 func (w *WithTail) Next() (Ref, bool) { return w.G.Next() }
+
+// NextBlock implements Bulk.
+func (w *WithTail) NextBlock(buf []Ref) int { return ReadBlock(w.G, buf) }
 
 // Collect drains g and returns all of its references.  The generator is
 // Reset before and after collection.  Intended for tests and the profiler's

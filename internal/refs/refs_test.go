@@ -355,3 +355,203 @@ func TestRNGIntnRange(t *testing.T) {
 		}
 	}
 }
+
+// bulkFixtures builds one instance of every generator shape for the Bulk
+// contract tests.  Each entry is a factory so tests can build independent
+// identical streams for Next-vs-NextBlock comparison.
+func bulkFixtures() map[string]func() Gen {
+	points := func() Gen {
+		rs := make([]Ref, 0, 200)
+		for i := 0; i < 200; i++ {
+			rs = append(rs, Ref{Addr: uint64(i * 64), Write: i%3 == 0, Instrs: int64(i % 7)})
+		}
+		return NewPoints(rs, 9)
+	}
+	return map[string]func() Gen{
+		"empty":   func() Gen { return Empty{} },
+		"compute": func() Gen { return Compute{N: 10} },
+		"points":  points,
+		"scan":    func() Gen { return &Scan{Base: 1 << 20, Bytes: 4096, LineBytes: 64, InstrsPerRef: 3, Passes: 3} },
+		"strided": func() Gen { return &Strided{Base: 1 << 21, StrideBytes: 192, Count: 173, InstrsPerRef: 2} },
+		"random": func() Gen {
+			return &Random{Base: 1 << 22, Bytes: 1 << 16, LineBytes: 64, Count: 301, Seed: 7, InstrsPerRef: 4}
+		},
+		"concat": func() Gen {
+			return NewConcat(
+				NewScan(1<<20, 1000, 64, 1),
+				&Strided{Base: 1 << 21, StrideBytes: 64, Count: 5, InstrsPerRef: 2},
+				Empty{},
+				&Random{Base: 1 << 22, Bytes: 1 << 12, LineBytes: 64, Count: 77, Seed: 3, InstrsPerRef: 1},
+			)
+		},
+		"interleave": func() Gen {
+			return NewInterleave(
+				NewScan(1<<20, 900, 64, 1),
+				&Strided{Base: 1 << 21, StrideBytes: 128, Count: 40, InstrsPerRef: 2},
+			)
+		},
+		"repeat":   func() Gen { return NewRepeat(NewScan(1<<20, 500, 64, 2), 4) },
+		"withtail": func() Gen { return NewWithTail(NewScan(1<<20, 700, 64, 1), 33) },
+	}
+}
+
+// TestAllGeneratorsImplementBulk pins the package invariant the simulator's
+// batched reader relies on: every generator here has a native NextBlock.
+func TestAllGeneratorsImplementBulk(t *testing.T) {
+	for name, mk := range bulkFixtures() {
+		if _, ok := mk().(Bulk); !ok {
+			t.Errorf("%s: does not implement Bulk", name)
+		}
+	}
+}
+
+// TestNextBlockMatchesNext drains each generator per-reference and in blocks
+// of several sizes (including 1 and a non-divisor of the stream length) and
+// requires identical reference sequences.
+func TestNextBlockMatchesNext(t *testing.T) {
+	for name, mk := range bulkFixtures() {
+		want := drain(t, mk())
+		for _, bs := range []int{1, 3, BlockSize, 1000} {
+			g := mk()
+			var got []Ref
+			buf := make([]Ref, bs)
+			for {
+				n := ReadBlock(g, buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+				if len(got) > 1<<22 {
+					t.Fatalf("%s: block drain did not terminate", name)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s bs=%d: %d refs via blocks, %d via Next", name, bs, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s bs=%d: ref %d = %+v via blocks, %+v via Next", name, bs, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNextBlockMixesWithNext checks the two drain styles share one stream
+// position, and that Reset rewinds the blocked stream too.
+func TestNextBlockMixesWithNext(t *testing.T) {
+	for name, mk := range bulkFixtures() {
+		want := drain(t, mk())
+		g := mk()
+		var got []Ref
+		buf := make([]Ref, 5)
+		for turn := 0; ; turn++ {
+			if turn%2 == 0 {
+				r, ok := g.Next()
+				if !ok {
+					break
+				}
+				got = append(got, r)
+			} else {
+				n := ReadBlock(g, buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+		}
+		// A Next-exhaustion on an even turn can end the loop while block
+		// reads would still return data or vice versa; both styles agree on
+		// exhaustion, so the full sequence must have been consumed either way.
+		if len(got) != len(want) {
+			t.Fatalf("%s: mixed drain produced %d refs, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: mixed drain ref %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+		g.Reset()
+		again := drain(t, g)
+		if len(again) != len(want) {
+			t.Fatalf("%s: post-Reset drain produced %d refs, want %d", name, len(again), len(want))
+		}
+	}
+}
+
+// TestReadBlockFallback exercises the adapter path for a Gen that does not
+// implement Bulk.
+type nextOnlyGen struct{ s Scan }
+
+func (g *nextOnlyGen) Len() int64        { return g.s.Len() }
+func (g *nextOnlyGen) Instrs() int64     { return g.s.Instrs() }
+func (g *nextOnlyGen) Reset()            { g.s.Reset() }
+func (g *nextOnlyGen) Next() (Ref, bool) { return g.s.Next() }
+
+func TestReadBlockFallback(t *testing.T) {
+	mk := func() Gen {
+		return &nextOnlyGen{s: Scan{Base: 4096, Bytes: 1000, LineBytes: 64, InstrsPerRef: 2, Passes: 2}}
+	}
+	if _, ok := mk().(Bulk); ok {
+		t.Fatalf("fixture unexpectedly implements Bulk")
+	}
+	want := drain(t, mk())
+	g := mk()
+	buf := make([]Ref, 7)
+	var got []Ref
+	for {
+		n := ReadBlock(g, buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fallback drained %d refs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fallback ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPointsInstrsCached guards the O(1) Instrs satellite fix: the total is
+// computed once, stays correct across Reset/drain cycles, and NewPoints
+// precomputes it.
+func TestPointsInstrsCached(t *testing.T) {
+	rs := []Ref{{Addr: 0, Instrs: 2}, {Addr: 64, Instrs: 3}, {Addr: 128, Instrs: 4}}
+	p := NewPoints(rs, 5)
+	if got := p.Instrs(); got != 14 {
+		t.Fatalf("Instrs = %d, want 14", got)
+	}
+	drain(t, p)
+	p.Reset()
+	if got := p.Instrs(); got != 14 {
+		t.Fatalf("Instrs after drain = %d, want 14", got)
+	}
+	// Zero-value construction computes lazily.
+	lazy := &Points{Refs: rs, Tail: 1}
+	if got := lazy.Instrs(); got != 10 {
+		t.Fatalf("lazy Instrs = %d, want 10", got)
+	}
+	if got := lazy.Instrs(); got != 10 {
+		t.Fatalf("lazy Instrs second call = %d, want 10", got)
+	}
+}
+
+// TestConcatTotalsCachedAndInvalidated guards Concat's cached Len/Instrs
+// sums and their invalidation on Append.
+func TestConcatTotalsCachedAndInvalidated(t *testing.T) {
+	c := NewConcat(NewScan(0, 640, 64, 2))
+	if c.Len() != 10 || c.Instrs() != 20 {
+		t.Fatalf("Len/Instrs = %d/%d, want 10/20", c.Len(), c.Instrs())
+	}
+	if c.Len() != 10 || c.Instrs() != 20 {
+		t.Fatalf("cached Len/Instrs = %d/%d, want 10/20", c.Len(), c.Instrs())
+	}
+	c.Append(&Strided{Base: 1 << 20, StrideBytes: 64, Count: 4, InstrsPerRef: 3})
+	if c.Len() != 14 || c.Instrs() != 32 {
+		t.Fatalf("post-Append Len/Instrs = %d/%d, want 14/32", c.Len(), c.Instrs())
+	}
+}

@@ -10,10 +10,10 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cmpsched/internal/dag"
+	"cmpsched/internal/minheap"
 )
 
 // Scheduler decides which ready task each idle core runs next.
@@ -28,7 +28,9 @@ type Scheduler interface {
 	Reset(d *dag.DAG, p int)
 	// MakeReady announces tasks that became ready when a task completed
 	// on the given core. core is -1 for the DAG's initial roots. Tasks
-	// are announced in increasing sequential order.
+	// are announced in increasing sequential order. The tasks slice is
+	// only valid for the duration of the call — the simulator reuses its
+	// backing storage — so implementations must copy the IDs they keep.
 	MakeReady(core int, tasks []dag.TaskID)
 	// Next returns the task the given idle core should run, or ok=false
 	// when the scheduler has no work for it.
@@ -67,7 +69,7 @@ func Names() []string { return []string{"pdf", "ws", "fifo"} }
 // its working set.
 type PDF struct {
 	d        *dag.DAG
-	ready    seqHeap
+	ready    minheap.Heap[seqItem]
 	assigned int64
 }
 
@@ -80,14 +82,14 @@ func (*PDF) Name() string { return "pdf" }
 // Reset implements Scheduler.
 func (p *PDF) Reset(d *dag.DAG, cores int) {
 	p.d = d
-	p.ready = p.ready[:0]
+	p.ready.Reset()
 	p.assigned = 0
 }
 
 // MakeReady implements Scheduler.
 func (p *PDF) MakeReady(core int, tasks []dag.TaskID) {
 	for _, id := range tasks {
-		heap.Push(&p.ready, seqItem{id: id, seq: p.d.Task(id).Seq})
+		p.ready.Push(seqItem{id: id, seq: p.d.Task(id).Seq})
 	}
 }
 
@@ -96,7 +98,7 @@ func (p *PDF) Next(core int) (dag.TaskID, bool) {
 	if p.ready.Len() == 0 {
 		return dag.None, false
 	}
-	item := heap.Pop(&p.ready).(seqItem)
+	item := p.ready.Pop()
 	p.assigned++
 	return item.id, true
 }
@@ -109,25 +111,17 @@ func (p *PDF) Metrics() map[string]int64 {
 	return map[string]int64{"assigned": p.assigned}
 }
 
+// seqItem is a ready task in PDF's minheap, ordered by sequential position
+// (Seq values are unique, so the order is total).  The typed heap keeps
+// the per-task pushes allocation-free — container/heap would box each one —
+// and its storage persists across Reset.
 type seqItem struct {
 	id  dag.TaskID
 	seq int
 }
 
-// seqHeap is a min-heap of ready tasks ordered by sequential position.
-type seqHeap []seqItem
-
-func (h seqHeap) Len() int            { return len(h) }
-func (h seqHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
-func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(seqItem)) }
-func (h *seqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
-}
+// Less implements minheap.Ordered.
+func (a seqItem) Less(b seqItem) bool { return a.seq < b.seq }
 
 // ---------------------------------------------------------------------------
 // Work Stealing (WS)
@@ -156,7 +150,14 @@ func (*WS) Name() string { return "ws" }
 func (w *WS) Reset(d *dag.DAG, cores int) {
 	w.d = d
 	w.cores = cores
-	w.deques = make([]deque, cores)
+	if cap(w.deques) >= cores {
+		w.deques = w.deques[:cores]
+		for i := range w.deques {
+			w.deques[i].reset()
+		}
+	} else {
+		w.deques = make([]deque, cores)
+	}
 	w.steals = 0
 	w.local = 0
 }
@@ -218,30 +219,46 @@ func (w *WS) Metrics() map[string]int64 {
 // Steals returns the number of successful steals in the last run.
 func (w *WS) Steals() int64 { return w.steals }
 
-// deque is a simple double-ended queue of task IDs.
+// deque is a double-ended queue of task IDs: a slice plus a head index.
+// popBottom advances head instead of re-slicing away the front, so the
+// backing array's capacity is never stranded; whenever the deque empties,
+// both ends rewind to the start and the storage is reused.  In the
+// simulator's steady state pushes therefore allocate nothing.
 type deque struct {
 	items []dag.TaskID
+	head  int
 }
 
-func (q *deque) len() int { return len(q.items) }
+func (q *deque) reset() {
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+func (q *deque) len() int { return len(q.items) - q.head }
 
 func (q *deque) pushTop(id dag.TaskID) { q.items = append(q.items, id) }
 
 func (q *deque) popTop() (dag.TaskID, bool) {
-	if len(q.items) == 0 {
+	if q.len() == 0 {
 		return dag.None, false
 	}
 	id := q.items[len(q.items)-1]
 	q.items = q.items[:len(q.items)-1]
+	if len(q.items) == q.head {
+		q.reset()
+	}
 	return id, true
 }
 
 func (q *deque) popBottom() (dag.TaskID, bool) {
-	if len(q.items) == 0 {
+	if q.len() == 0 {
 		return dag.None, false
 	}
-	id := q.items[0]
-	q.items = q.items[1:]
+	id := q.items[q.head]
+	q.head++
+	if len(q.items) == q.head {
+		q.reset()
+	}
 	return id, true
 }
 
@@ -251,9 +268,12 @@ func (q *deque) popBottom() (dag.TaskID, bool) {
 
 // FIFO is a central first-come-first-served ready queue.  It is not part of
 // the paper's comparison; it exists as an ablation point between WS
-// (per-core LIFO with stealing) and PDF (global sequential priority).
+// (per-core LIFO with stealing) and PDF (global sequential priority).  The
+// queue is a slice plus head index (like the WS deque) so dequeues never
+// strand capacity and steady-state enqueues are allocation-free.
 type FIFO struct {
 	queue    []dag.TaskID
+	head     int
 	assigned int64
 }
 
@@ -266,6 +286,7 @@ func (*FIFO) Name() string { return "fifo" }
 // Reset implements Scheduler.
 func (f *FIFO) Reset(d *dag.DAG, cores int) {
 	f.queue = f.queue[:0]
+	f.head = 0
 	f.assigned = 0
 }
 
@@ -276,17 +297,21 @@ func (f *FIFO) MakeReady(core int, tasks []dag.TaskID) {
 
 // Next implements Scheduler.
 func (f *FIFO) Next(core int) (dag.TaskID, bool) {
-	if len(f.queue) == 0 {
+	if f.Pending() == 0 {
 		return dag.None, false
 	}
-	id := f.queue[0]
-	f.queue = f.queue[1:]
+	id := f.queue[f.head]
+	f.head++
+	if f.head == len(f.queue) {
+		f.queue = f.queue[:0]
+		f.head = 0
+	}
 	f.assigned++
 	return id, true
 }
 
 // Pending implements Scheduler.
-func (f *FIFO) Pending() int { return len(f.queue) }
+func (f *FIFO) Pending() int { return len(f.queue) - f.head }
 
 // Metrics implements Scheduler.
 func (f *FIFO) Metrics() map[string]int64 {

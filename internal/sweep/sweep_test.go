@@ -84,6 +84,25 @@ func TestKeyHashDistinguishesFields(t *testing.T) {
 	}
 }
 
+// TestKeyHashPinned pins the content address of one representative job to a
+// literal value captured before the simulator hot-path overhaul.  The sweep
+// cache's soundness rests on keys being a pure function of the inputs: if
+// this hash moves, previously cached results (including on-disk caches from
+// earlier builds) silently stop matching, so any change here must be a
+// deliberate, documented cache-format break.
+func TestKeyHashPinned(t *testing.T) {
+	cfg, err := config.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(config.DefaultScale)
+	j := NewJob("mergesort", "{Elements:1024}", "pdf", cfg, nil)
+	const want = "bb3450c04f3bd362f90839ea458740fd26a65177b5b057660bb80406270bbfc7"
+	if got := j.Key.Hash(); got != want {
+		t.Fatalf("pinned key hash changed:\n  got  %s\n  want %s", got, want)
+	}
+}
+
 // TestKeyDistinguishesTopologies guards the cache-key contract after the
 // topology refactor: two otherwise-identical runs that differ only in cache
 // topology must content-address to distinct keys, or a sweep cache warmed

@@ -380,3 +380,32 @@ func TestUnknownWorkloadErrorListsNames(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkloadGeneratorsImplementBulk pins the contract the simulator's
+// batched reference reader relies on: every task generator a workload emits
+// supports refs.Bulk natively, so the hot loop never falls back to
+// per-reference dynamic dispatch.  A representative regular, irregular and
+// stencil workload stand in for the full registry (all workloads compose
+// the same refs generators, each of which asserts Bulk at compile time).
+func TestWorkloadGeneratorsImplementBulk(t *testing.T) {
+	builds := map[string]Workload{
+		"mergesort": NewMergesort(MergesortConfig{Elements: 4 << 10, TaskWorkingSetBytes: 1 << 10}),
+		"hashjoin":  NewHashJoin(HashJoinConfig{PartitionBytes: 1 << 20, SubPartitionBytes: 64 << 10}),
+		"heat":      NewHeat(HeatConfig{Rows: 64, Cols: 64, Steps: 2}),
+		"bfs":       NewBFS(BFSConfig{Shape: GraphShape{Family: "uniform", Vertices: 1 << 10}}),
+	}
+	for name, w := range builds {
+		d, _, err := w.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, task := range d.Tasks() {
+			if task.Refs == nil {
+				continue
+			}
+			if _, ok := task.Refs.(refs.Bulk); !ok {
+				t.Fatalf("%s: task %q generator %T does not implement refs.Bulk", name, task.Name, task.Refs)
+			}
+		}
+	}
+}
