@@ -4,7 +4,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build test race-sweep vet fmt-check lint bench bench-quick ci clean
+.PHONY: all build test race-sweep doc-check vet fmt-check lint bench bench-quick ci clean
 
 all: build
 
@@ -14,10 +14,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The sweep engine's worker pool is the repository's only concurrent code;
-# run it under the race detector (CI runs this step too).
+# The concurrent pieces — the sweep engine's worker pool and the scheduler
+# registry (Register/New may race against running sweeps) — run under the
+# race detector (CI runs this step too).
 race-sweep:
-	$(GO) test -race ./internal/sweep/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/...
+
+# The docs gate: the public facade and the scheduler package must carry a
+# package comment and a doc comment on every exported identifier (the rest
+# of the repository is kept clean too, but only these two gate CI).
+doc-check:
+	$(GO) run ./cmd/doccheck . ./internal/sched
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +36,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-lint: fmt-check vet
+lint: fmt-check vet doc-check
 
 # The simulator benchmark suite -> BENCH_simulator.json: ns/op, B/op,
 # allocs/op and the shape metrics (L2-MPKI etc.) for every Simulate*

@@ -6,19 +6,25 @@
 //	cmpsim -workload mergesort -cores 8 -sched pdf
 //	cmpsim -workload hashjoin -cores 16 -sched ws -table 45nm
 //	cmpsim -workload mergesort -cores 8 -sched pdf -topology private
-//	cmpsim -workload mergesort -cores 16 -topology clustered:4 -compare
+//	cmpsim -workload mergesort -cores 16 -topology clustered:4 -sched ws:nearest
+//	cmpsim -workload mergesort -cores 8 -topology clustered:4 -sched sb
 //	cmpsim -workload mergesort -cores 32 -sched pdf -compare
 //
-// The -topology flag selects how the L2 capacity is organised: shared (one
-// L2 for all cores, the paper's machine), private (one slice per core) or
-// clustered:<k> (k cores per slice).  The -compare flag runs both PDF and WS
-// (plus the sequential baseline) and prints a side-by-side comparison.
+// The -sched flag accepts any scheduler in the registry (run
+// `sweep -list` for the live set): the paper's pdf and ws, the fifo
+// ablation baseline, the space-bounded sb, and the locality-guided
+// stealing variants ws:nearest and ws:oldest.  The -topology flag selects
+// how the L2 capacity is organised: shared (one L2 for all cores, the
+// paper's machine), private (one slice per core) or clustered:<k> (k cores
+// per slice).  The -compare flag runs both PDF and WS (plus the sequential
+// baseline) and prints a side-by-side comparison.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cmpsched/internal/cache"
 	"cmpsched/internal/cmpsim"
@@ -31,8 +37,8 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "mergesort", "benchmark: mergesort, hashjoin, lu, matmul, quicksort, heat")
-		schedName    = flag.String("sched", "pdf", "scheduler: pdf, ws or fifo")
+		workloadName = flag.String("workload", "mergesort", "benchmark: "+strings.Join(workload.Names(), ", "))
+		schedName    = flag.String("sched", "pdf", "scheduler: "+strings.Join(sched.Names(), ", "))
 		cores        = flag.Int("cores", 8, "number of cores")
 		table        = flag.String("table", "default", "configuration table: default (Table 2) or 45nm (Table 3)")
 		scale        = flag.Int64("scale", config.DefaultScale, "capacity scale factor (1 = paper-sized caches)")

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg drops a one-file package into its own temp directory.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// Exported is documented.
+func Exported() {}
+
+// T is documented.
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+
+// Block comment covers the const block.
+const (
+	A = 1
+	B = 2
+)
+
+func unexported() {}
+
+type hidden struct{}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean package flagged: %v", findings)
+	}
+}
+
+func TestMissingDocsAreFlagged(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func Exported() {}
+
+type (
+	// Documented is fine.
+	Documented struct{}
+	Undocumented struct{}
+)
+
+func (Documented) Method() {}
+
+var V = 1
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"package p has no package comment",
+		"exported function Exported",
+		"exported type Undocumented",
+		"exported method Method",
+		"exported var V",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("findings missing %q: %v", want, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d: %v", len(findings), len(wants), findings)
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "Documented") {
+			t.Errorf("documented identifier flagged: %s", f)
+		}
+	}
+}
+
+func TestSingleTypeDeclDocCounts(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// T is documented on the declaration, not the spec.
+type T struct{}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("single documented type flagged: %v", findings)
+	}
+}
+
+func TestTestFilesAreIgnored(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+`)
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(`package p
+
+func TestExportedHelper(t *testing.T) {}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("test file contents flagged: %v", findings)
+	}
+}

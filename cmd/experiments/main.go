@@ -7,14 +7,16 @@
 //	experiments -experiment fig6 -quick    # reduced inputs (seconds)
 //
 // Available experiments: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain,
-// profiler, topology, irregular, all.  Output is printed as aligned text
-// tables; EXPERIMENTS.md records a full run next to the paper's numbers.
-// The topology and irregular experiments are not paper figures: topology
-// evaluates the paper's shared-vs-private premise by rerunning PDF vs WS
-// with the L2 organised as shared, clustered and per-core private slices,
-// and irregular asks the same PDF-vs-WS question on the data-dependent
-// graph kernels (BFS, SSSP, PageRank, triangle counting) across generator
-// families.
+// profiler, topology, irregular, scheduler, all.  Output is printed as
+// aligned text tables; EXPERIMENTS.md records a full run next to the
+// paper's numbers.  The topology, irregular and scheduler experiments are
+// not paper figures: topology evaluates the paper's shared-vs-private
+// premise by rerunning PDF vs WS with the L2 organised as shared, clustered
+// and per-core private slices; irregular asks the same PDF-vs-WS question
+// on the data-dependent graph kernels (BFS, SSSP, PageRank, triangle
+// counting) across generator families; and scheduler widens the scheduler
+// axis itself, comparing every registered scheduler (PDF, WS, the
+// locality-guided ws:nearest and the space-bounded sb) across topologies.
 package main
 
 import (
@@ -47,12 +49,13 @@ func runners() []runner {
 		{"profiler", func(o experiments.Options) (fmt.Stringer, error) { return experiments.ProfilerComparison(o) }},
 		{"topology", func(o experiments.Options) (fmt.Stringer, error) { return experiments.TopologyComparison(o) }},
 		{"irregular", func(o experiments.Options) (fmt.Stringer, error) { return experiments.IrregularComparison(o) }},
+		{"scheduler", func(o experiments.Options) (fmt.Stringer, error) { return experiments.SchedulerComparison(o) }},
 	}
 }
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology, irregular or all")
+		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology, irregular, scheduler or all")
 		quick = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
 		scale = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
 	)

@@ -10,8 +10,13 @@
 //	sweep -workloads bfs,sssp,pagerank,triangles        # irregular graph kernels
 //	sweep -tables 45nm -cores 2,8,18,26 -quick          # a Figure 3 slice
 //	sweep -topology shared,private,clustered:4 -quick   # cache-topology axis
+//	sweep -schedulers pdf,ws,ws:nearest,sb -quick       # scheduler-registry axis
 //	sweep -workloads lu -seq -format csv -o lu.csv      # with speedup baseline
 //	sweep -cache-dir .sweep-cache -workloads mergesort  # re-runs are instant
+//
+// -list reflects the live registries: workloads and schedulers registered
+// at run time (including parameterised spellings such as "ws:nearest")
+// appear in deterministically sorted order.
 //
 // Workload inputs are sized exactly as the experiment harness sizes them
 // (internal/experiments), so sweep points are comparable to figure points;
@@ -148,7 +153,10 @@ func main() {
 	}
 }
 
-// printAvailable lists every axis value a sweep spec accepts (-list).
+// printAvailable lists every axis value a sweep spec accepts (-list).  Both
+// name lists come straight from the live registries (workload.Names,
+// sched.Names), already deterministically sorted, so late registrations and
+// parameterised scheduler spellings show up without CLI changes.
 func printAvailable(w *os.File) {
 	fmt.Fprintf(w, "workloads:  %s\n", strings.Join(workload.Names(), ", "))
 	fmt.Fprintf(w, "schedulers: %s (plus the %q baseline via -seq)\n",

@@ -5,8 +5,12 @@
 //
 //   - computation DAGs and memory-reference streams (internal/dag,
 //     internal/refs),
-//   - the Parallel Depth First (PDF) and Work Stealing (WS) schedulers
-//     (internal/sched),
+//   - the schedulers, constructed by name through a run-time registry
+//     (RegisterScheduler / NewScheduler / SchedulerNames): the paper's
+//     Parallel Depth First (PDF) and Work Stealing (WS) pair, a FIFO
+//     ablation baseline, a space-bounded scheduler that pins tasks to the
+//     smallest cache level or L2 slice fitting their profiled working set,
+//     and locality-guided work-stealing variants (internal/sched),
 //   - an event-driven CMP simulator with private L1s, a pluggable L2
 //     topology (shared, per-core private or clustered slices) and a
 //     bandwidth-limited memory system every slice arbitrates for
@@ -66,6 +70,21 @@ type (
 
 	// Scheduler decides which ready task each idle core runs next.
 	Scheduler = sched.Scheduler
+	// SchedulerFactory constructs a fresh scheduler instance; it is what
+	// RegisterScheduler records in the scheduler registry.
+	SchedulerFactory = sched.Factory
+	// SchedMachine describes the cache machine a scheduler is placing
+	// tasks onto (core count, L1 and L2-slice capacities, core-to-slice
+	// map); the simulator hands it to schedulers implementing
+	// SchedMachineAware before each run.
+	SchedMachine = sched.Machine
+	// SchedMachineAware is implemented by schedulers whose placement
+	// decisions depend on the cache machine, e.g. the space-bounded
+	// scheduler.
+	SchedMachineAware = sched.MachineAware
+	// StealPolicy selects how an idle locality-guided WS core picks its
+	// steal victim (StealNearest, StealOldest).
+	StealPolicy = sched.StealPolicy
 
 	// CMPConfig is a machine configuration (cores, caches, memory).
 	CMPConfig = config.CMP
@@ -81,25 +100,31 @@ type (
 
 	// Workload builds a benchmark's DAG and group tree.
 	Workload = workload.Workload
-	// MergesortConfig, HashJoinConfig, LUConfig, MatMulConfig,
-	// CholeskyConfig, QuicksortConfig and HeatConfig parameterise the
-	// benchmarks.
+	// MergesortConfig parameterises the Mergesort benchmark.
 	MergesortConfig = workload.MergesortConfig
-	HashJoinConfig  = workload.HashJoinConfig
-	LUConfig        = workload.LUConfig
-	MatMulConfig    = workload.MatMulConfig
-	CholeskyConfig  = workload.CholeskyConfig
+	// HashJoinConfig parameterises the Hash Join benchmark.
+	HashJoinConfig = workload.HashJoinConfig
+	// LUConfig parameterises the LU-factorisation benchmark.
+	LUConfig = workload.LUConfig
+	// MatMulConfig parameterises the blocked matrix-multiply benchmark.
+	MatMulConfig = workload.MatMulConfig
+	// CholeskyConfig parameterises the blocked Cholesky benchmark.
+	CholeskyConfig = workload.CholeskyConfig
+	// QuicksortConfig parameterises the parallel quicksort benchmark.
 	QuicksortConfig = workload.QuicksortConfig
-	HeatConfig      = workload.HeatConfig
+	// HeatConfig parameterises the Jacobi-stencil benchmark.
+	HeatConfig = workload.HeatConfig
 
 	// GraphShape selects the input graph (family, size, degree, seed) and
-	// task grain shared by the irregular graph kernels; BFSConfig,
-	// SSSPConfig, PageRankConfig and TrianglesConfig parameterise the
-	// kernels themselves.
-	GraphShape      = workload.GraphShape
-	BFSConfig       = workload.BFSConfig
-	SSSPConfig      = workload.SSSPConfig
-	PageRankConfig  = workload.PageRankConfig
+	// task grain shared by the irregular graph kernels.
+	GraphShape = workload.GraphShape
+	// BFSConfig parameterises the level-synchronous BFS kernel.
+	BFSConfig = workload.BFSConfig
+	// SSSPConfig parameterises the Bellman-Ford shortest-paths kernel.
+	SSSPConfig = workload.SSSPConfig
+	// PageRankConfig parameterises the PageRank power-iteration kernel.
+	PageRankConfig = workload.PageRankConfig
+	// TrianglesConfig parameterises the triangle-counting kernel.
 	TrianglesConfig = workload.TrianglesConfig
 
 	// ProfileConfig configures a working-set profiling pass.
@@ -109,9 +134,11 @@ type (
 	// GroupStats summarises one task group's cache behaviour.
 	GroupStats = profile.GroupStats
 
-	// CoarsenParams and CoarsenSelection drive the automatic
-	// task-coarsening pass.
-	CoarsenParams    = coarsen.Params
+	// CoarsenParams identifies the CMP configuration an automatic
+	// task-coarsening decision targets.
+	CoarsenParams = coarsen.Params
+	// CoarsenSelection is the outcome of a coarsening pass: the groups to
+	// run sequentially and the parallelization-table thresholds.
 	CoarsenSelection = coarsen.Selection
 
 	// ExperimentOptions controls the experiment harness.
@@ -144,14 +171,41 @@ type (
 // are divided in the repository's default experiment runs (see DESIGN.md).
 const DefaultScale = config.DefaultScale
 
+// StealNearest and StealOldest are the steal policies NewLocalityWS
+// accepts: nearest-slice-first stealing and globally-oldest-task stealing.
+const (
+	StealNearest = sched.StealNearest
+	StealOldest  = sched.StealOldest
+)
+
 // NewPDF returns a Parallel Depth First scheduler.
 func NewPDF() Scheduler { return sched.NewPDF() }
 
 // NewWS returns a Work Stealing scheduler.
 func NewWS() Scheduler { return sched.NewWS() }
 
-// NewScheduler constructs a scheduler by name ("pdf", "ws" or "fifo").
+// NewSpaceBounded returns the space-bounded scheduler ("sb"): tasks are
+// annotated with working-set estimates from the LruTree profiler and pinned
+// to the smallest cache level or L2 slice whose capacity fits them.
+func NewSpaceBounded() Scheduler { return sched.NewSpaceBounded() }
+
+// NewLocalityWS returns a Work Stealing scheduler with a locality-guided
+// steal policy ("ws:nearest", "ws:oldest").
+func NewLocalityWS(policy StealPolicy) Scheduler { return sched.NewLocalityWS(policy) }
+
+// NewScheduler constructs a registered scheduler by canonical name ("pdf",
+// "ws", "fifo", "sb", "ws:nearest", "ws:oldest", or any name added through
+// RegisterScheduler); see SchedulerNames.
 func NewScheduler(name string) (Scheduler, error) { return sched.New(name) }
+
+// SchedulerNames lists the registered schedulers in sorted order.
+func SchedulerNames() []string { return sched.Names() }
+
+// RegisterScheduler adds a named scheduler factory to the registry
+// NewScheduler and sweep specifications resolve names against.  Names are
+// canonical lower-case spellings as they appear in sweep content-address
+// keys; duplicates panic.
+func RegisterScheduler(name string, f SchedulerFactory) { sched.Register(name, f) }
 
 // SharedTopology returns the shared-L2 topology (the paper's machine, and
 // the default for every configuration).
@@ -324,4 +378,9 @@ var (
 	// PDF vs WS with the L2 organised as shared, clustered and per-core
 	// private slices (not a paper figure; see EXPERIMENTS.md).
 	TopologyComparison = experiments.TopologyComparison
+	// SchedulerComparison widens the scheduler axis itself: every
+	// registered comparison scheduler (pdf, ws, ws:nearest, sb) across
+	// shared, clustered and private topologies on mergesort, hashjoin and
+	// BFS (not a paper figure; see EXPERIMENTS.md).
+	SchedulerComparison = experiments.SchedulerComparison
 )

@@ -259,6 +259,24 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	d.ResetRefs()
 	n := d.NumTasks()
 	p := cfg.Cores
+	// Capacity- and topology-aware schedulers (sched.MachineAware) are told
+	// what machine they are placing tasks onto before Reset; the classic
+	// schedulers ignore this entirely, so their event streams — and the
+	// golden fingerprints pinned on them — are untouched.
+	if ma, ok := s.(sched.MachineAware); ok {
+		sliceOf := make([]int, p)
+		for c := range sliceOf {
+			sliceOf[c] = hier.SliceOf(c)
+		}
+		ma.SetMachine(sched.Machine{
+			Cores:        p,
+			LineBytes:    cfg.L2.LineBytes,
+			L1Bytes:      cfg.L1.SizeBytes,
+			L2SliceBytes: hier.SliceConfig().SizeBytes,
+			Slices:       hier.NumSlices(),
+			SliceOfCore:  sliceOf,
+		})
+	}
 	s.Reset(d, p)
 
 	indeg := make([]int, n)

@@ -273,23 +273,30 @@ func runGrid[P any](o Options, g *grid[P], visit func(p P, rs []sweep.Result)) e
 	return nil
 }
 
-// schedulerJobs returns the jobs simulating the named workload on cfg —
-// optionally led by the sequential baseline, then PDF, then WS — the fixed
-// (seq, pdf, ws) order the figure decoders rely on.
-func (o Options) schedulerJobs(name string, cfg config.CMP, withSeq bool) ([]sweep.Job, error) {
+// jobsFor returns one job per named scheduler for the workload on cfg, in
+// scheduler order.  Scheduler names are any the registry accepts, plus the
+// sweep.Sequential pseudo-scheduler.
+func (o Options) jobsFor(name string, cfg config.CMP, schedulers []string) ([]sweep.Job, error) {
 	build, params, err := o.workloadSpec(name, cfg)
 	if err != nil {
 		return nil, err
 	}
-	var jobs []sweep.Job
-	if withSeq {
-		jobs = append(jobs, sweep.NewJob(name, params, sweep.Sequential, cfg, build))
+	jobs := make([]sweep.Job, 0, len(schedulers))
+	for _, sc := range schedulers {
+		jobs = append(jobs, sweep.NewJob(name, params, sc, cfg, build))
 	}
-	jobs = append(jobs,
-		sweep.NewJob(name, params, "pdf", cfg, build),
-		sweep.NewJob(name, params, "ws", cfg, build),
-	)
 	return jobs, nil
+}
+
+// schedulerJobs returns the jobs simulating the named workload on cfg —
+// optionally led by the sequential baseline, then PDF, then WS — the fixed
+// (seq, pdf, ws) order the figure decoders rely on.
+func (o Options) schedulerJobs(name string, cfg config.CMP, withSeq bool) ([]sweep.Job, error) {
+	schedulers := []string{"pdf", "ws"}
+	if withSeq {
+		schedulers = append([]string{sweep.Sequential}, schedulers...)
+	}
+	return o.jobsFor(name, cfg, schedulers)
 }
 
 // WorkloadFactory adapts the harness's standard inputs (paper-sized,

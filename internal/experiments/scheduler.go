@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/stats"
+	"cmpsched/internal/sweep"
+)
+
+// SchedulerRow is one point of the scheduler comparison: one benchmark on
+// one core count, one L2 topology and one scheduler from the registry.
+type SchedulerRow struct {
+	Workload  string
+	Cores     int
+	Topology  string
+	Scheduler string
+	// Cycles is the parallel execution time.
+	Cycles int64
+	// L2MissesPerKiloInstr is the paper's primary cache metric, aggregated
+	// over every L2 slice of the topology.
+	L2MissesPerKiloInstr float64
+	// MemUtilization is the off-chip bandwidth utilisation.
+	MemUtilization float64
+	// Steals is the scheduler's "steals" counter (work-stealing variants;
+	// 0 for schedulers without one).
+	Steals int64
+	// Migrations is the space-bounded scheduler's count of tasks that ran
+	// away from their pinned pool (0 for other schedulers).
+	Migrations int64
+}
+
+// SchedulerResult holds every row of the scheduler comparison.
+type SchedulerResult struct {
+	Rows  []SchedulerRow
+	Scale int64
+}
+
+// SchedulerComparisonSchedulers lists the schedulers the comparison
+// evaluates: the paper's pair, the locality-guided stealing variant and the
+// space-bounded scheduler.
+func SchedulerComparisonSchedulers() []string {
+	return []string{"pdf", "ws", "ws:nearest", "sb"}
+}
+
+// SchedulerComparisonWorkloads lists the benchmarks the comparison runs:
+// the paper's two regular benchmarks analysed in most detail plus one
+// irregular graph kernel.
+func SchedulerComparisonWorkloads() []string {
+	return []string{"mergesort", "hashjoin", "bfs"}
+}
+
+// SchedulerComparisonTopologies lists the topology axis, from fully shared
+// to fully private.
+func SchedulerComparisonTopologies() []cache.Topology {
+	return []cache.Topology{cache.Shared(), cache.Clustered(4), cache.Private()}
+}
+
+// SchedulerComparison evaluates the scheduler axis the registry opened up:
+// every scheduler of SchedulerComparisonSchedulers on every topology of
+// SchedulerComparisonTopologies, per benchmark.  It asks two questions the
+// paper's PDF-vs-WS pair cannot: does pinning tasks to the smallest cache
+// that fits their working set (sb) recover PDF-like constructive sharing on
+// a shared L2 while keeping WS-like locality on sliced ones, and does
+// steering steals toward the thief's own L2 slice (ws:nearest) claw back
+// any of the miss penalty clustered topologies inflict on classic WS?  On
+// the shared and private topologies ws:nearest's victim order provably
+// degenerates to classic WS's forward scan, so its rows there double as an
+// end-to-end determinism check (identical cycle counts), which the shape
+// test pins.
+func SchedulerComparison(opts Options) (*SchedulerResult, error) {
+	res := &SchedulerResult{Scale: opts.effectiveScale()}
+	schedulers := SchedulerComparisonSchedulers()
+	type point struct {
+		wl    string
+		cores int
+		topo  string
+	}
+	var g grid[point]
+	for _, wl := range SchedulerComparisonWorkloads() {
+		for _, cores := range opts.coresOrDefault([]int{8}) {
+			base, err := opts.scaledDefault(cores)
+			if err != nil {
+				return nil, err
+			}
+			for _, topo := range SchedulerComparisonTopologies() {
+				cfg := base.WithTopology(topo)
+				jobs, err := opts.jobsFor(wl, cfg, schedulers)
+				if err != nil {
+					return nil, err
+				}
+				g.add(point{wl, cores, topo.String()}, jobs...)
+			}
+		}
+	}
+	err := runGrid(opts, &g, func(pt point, rs []sweep.Result) {
+		for i, sc := range schedulers {
+			sim := rs[i].Sim
+			res.Rows = append(res.Rows, SchedulerRow{
+				Workload: pt.wl, Cores: pt.cores, Topology: pt.topo, Scheduler: sc,
+				Cycles:               sim.Cycles,
+				L2MissesPerKiloInstr: sim.L2MissesPerKiloInstr(),
+				MemUtilization:       sim.MemUtilization,
+				Steals:               sim.SchedMetrics["steals"],
+				Migrations:           sim.SchedMetrics["migrations"],
+			})
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scheduler comparison: %w", err)
+	}
+	return res, nil
+}
+
+// Row returns the row for a workload/cores/topology/scheduler combination,
+// or nil.
+func (r *SchedulerResult) Row(workload string, cores int, topology, scheduler string) *SchedulerRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Workload == workload && row.Cores == cores && row.Topology == topology && row.Scheduler == scheduler {
+			return row
+		}
+	}
+	return nil
+}
+
+// MissReductionPercent returns the relative reduction in L2 misses per 1000
+// instructions of scheduler over baseline on one topology, in percent.
+// Positive means scheduler misses less than baseline.
+func (r *SchedulerResult) MissReductionPercent(workload string, cores int, topology, scheduler, baseline string) float64 {
+	s := r.Row(workload, cores, topology, scheduler)
+	b := r.Row(workload, cores, topology, baseline)
+	if s == nil || b == nil || b.L2MissesPerKiloInstr == 0 {
+		return 0
+	}
+	return (b.L2MissesPerKiloInstr - s.L2MissesPerKiloInstr) / b.L2MissesPerKiloInstr * 100
+}
+
+// Best returns the scheduler with the fewest L2 misses per 1000
+// instructions at one grid point, or "".
+func (r *SchedulerResult) Best(workload string, cores int, topology string) string {
+	best, bestMPKI := "", 0.0
+	for _, sc := range SchedulerComparisonSchedulers() {
+		row := r.Row(workload, cores, topology, sc)
+		if row == nil {
+			continue
+		}
+		if best == "" || row.L2MissesPerKiloInstr < bestMPKI {
+			best, bestMPKI = sc, row.L2MissesPerKiloInstr
+		}
+	}
+	return best
+}
+
+// String renders one panel per workload: topologies down, schedulers within
+// each topology, with the per-scheduler miss reduction relative to classic
+// WS.
+func (r *SchedulerResult) String() string {
+	var b strings.Builder
+	for _, wl := range SchedulerComparisonWorkloads() {
+		rows := false
+		t := stats.NewTable("cores", "topology", "sched", "cycles", "L2 misses/1000 instr", "vs ws %", "steals", "migrations", "mem util %")
+		for _, row := range r.Rows {
+			if row.Workload != wl {
+				continue
+			}
+			rows = true
+			vsWS := ""
+			if row.Scheduler != "ws" {
+				vsWS = fmt.Sprintf("%.1f", r.MissReductionPercent(wl, row.Cores, row.Topology, row.Scheduler, "ws"))
+			}
+			t.AddRow(
+				fmt.Sprint(row.Cores), row.Topology, row.Scheduler,
+				fmt.Sprint(row.Cycles),
+				fmt.Sprintf("%.3f", row.L2MissesPerKiloInstr),
+				vsWS,
+				fmt.Sprint(row.Steals),
+				fmt.Sprint(row.Migrations),
+				fmt.Sprintf("%.1f", row.MemUtilization*100),
+			)
+		}
+		if !rows {
+			continue
+		}
+		fmt.Fprintf(&b, "Scheduler comparison: %s (default configurations, capacity scale 1/%d)\n", wl, r.Scale)
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"fmt"
+
+	"cmpsched/internal/dag"
+)
+
+// StealPolicy selects how an idle LocalityWS core picks its steal victim.
+type StealPolicy int
+
+const (
+	// StealNearest steals from the nearest non-empty deque: cores sharing
+	// the thief's L2 slice first, then slices by increasing distance.  A
+	// steal within the slice keeps the stolen task's data in the cache it
+	// already warmed; under the shared topology (one slice) the victim
+	// order degenerates to classic WS's forward scan.
+	StealNearest StealPolicy = iota
+	// StealOldest steals the globally oldest ready task: the deque bottom
+	// with the smallest sequential position across all victims.  Old tasks
+	// are the fork-tree's biggest pieces of work and the least likely to
+	// share cache state with their victim's current task, making them the
+	// classic low-contention choice.
+	StealOldest
+)
+
+// String returns the policy's canonical suffix ("nearest", "oldest").
+func (p StealPolicy) String() string {
+	switch p {
+	case StealNearest:
+		return "nearest"
+	case StealOldest:
+		return "oldest"
+	default:
+		return fmt.Sprintf("StealPolicy(%d)", int(p))
+	}
+}
+
+// LocalityWS is Work Stealing with a locality-guided steal policy.  Local
+// behaviour is identical to WS — tasks enabled on a core are pushed onto its
+// deque, the owner pops LIFO — but when a core's own deque is empty the
+// victim is chosen by the configured StealPolicy rather than WS's flat
+// forward scan.  The canonical registry names are "ws:nearest" and
+// "ws:oldest"; the classic scheduler keeps the name "ws" and its exact
+// historical behaviour.
+//
+// StealNearest is the policy that matters on clustered topologies: it needs
+// the core-to-slice map, which the simulator supplies through SetMachine
+// (without one, every core lands in a single slice and the scan order
+// matches classic WS).
+type LocalityWS struct {
+	d      *dag.DAG
+	policy StealPolicy
+	raw    Machine // as given by SetMachine; normalised into m by Reset
+	m      Machine
+	deques []deque
+	// victims[t] is the precomputed deterministic victim scan order for
+	// thief t under StealNearest.
+	victims [][]int
+
+	local      int64
+	steals     int64
+	nearSteals int64
+	farSteals  int64
+}
+
+// NewLocalityWS returns a Work Stealing scheduler with the given steal
+// policy.  Out-of-range policy values fall back to StealNearest, so the
+// scheduler's Name is always a canonical registry spelling.
+func NewLocalityWS(policy StealPolicy) *LocalityWS {
+	if policy != StealNearest && policy != StealOldest {
+		policy = StealNearest
+	}
+	return &LocalityWS{policy: policy}
+}
+
+// Name implements Scheduler; it returns the canonical parameterised
+// spelling, e.g. "ws:nearest", which is what flows into sweep keys.
+func (w *LocalityWS) Name() string { return "ws:" + w.policy.String() }
+
+// SetMachine implements MachineAware.
+func (w *LocalityWS) SetMachine(m Machine) { w.raw = m }
+
+// Reset implements Scheduler.
+func (w *LocalityWS) Reset(d *dag.DAG, cores int) {
+	w.d = d
+	w.m = w.raw.forCores(cores)
+	if cap(w.deques) >= cores {
+		w.deques = w.deques[:cores]
+		for i := range w.deques {
+			w.deques[i].reset()
+		}
+	} else {
+		w.deques = make([]deque, cores)
+	}
+	w.local, w.steals, w.nearSteals, w.farSteals = 0, 0, 0, 0
+	// Built unconditionally: Next routes every policy except StealOldest
+	// to the nearest-victim scan, so the table must exist even for policy
+	// values that bypassed the constructor's normalisation.
+	w.victims = nearestVictims(w.m)
+}
+
+// nearestVictims builds, for every thief, the victim order "own slice
+// forward scan, then slices by increasing distance, cores ascending within
+// each".  The order is a pure function of the machine, so it is computed
+// once per Reset.
+func nearestVictims(m Machine) [][]int {
+	sliceCores := m.coresBySlice()
+	victims := make([][]int, m.Cores)
+	for t := 0; t < m.Cores; t++ {
+		order := make([]int, 0, m.Cores-1)
+		home := m.SliceOf(t)
+		mates := sliceCores[home]
+		pos := 0
+		for i, c := range mates {
+			if c == t {
+				pos = i
+				break
+			}
+		}
+		for i := 1; i < len(mates); i++ {
+			order = append(order, mates[(pos+i)%len(mates)])
+		}
+		for dist := 1; dist < m.Slices; dist++ {
+			order = append(order, sliceCores[(home+dist)%m.Slices]...)
+		}
+		victims[t] = order
+	}
+	return victims
+}
+
+// MakeReady implements Scheduler; the deque discipline is identical to WS.
+func (w *LocalityWS) MakeReady(core int, tasks []dag.TaskID) {
+	if core < 0 {
+		core = 0
+	}
+	if core >= len(w.deques) {
+		core = core % len(w.deques)
+	}
+	for _, id := range tasks {
+		w.deques[core].pushTop(id)
+	}
+}
+
+// Next implements Scheduler.
+func (w *LocalityWS) Next(core int) (dag.TaskID, bool) {
+	if core < 0 || core >= len(w.deques) {
+		return dag.None, false
+	}
+	if id, ok := w.deques[core].popTop(); ok {
+		w.local++
+		return id, true
+	}
+	switch w.policy {
+	case StealOldest:
+		return w.stealOldest(core)
+	default:
+		return w.stealNearest(core)
+	}
+}
+
+// stealNearest takes the bottom of the first non-empty deque in the thief's
+// precomputed nearest-first victim order.
+func (w *LocalityWS) stealNearest(core int) (dag.TaskID, bool) {
+	home := w.m.SliceOf(core)
+	for _, v := range w.victims[core] {
+		if id, ok := w.deques[v].popBottom(); ok {
+			w.steals++
+			if w.m.SliceOf(v) == home {
+				w.nearSteals++
+			} else {
+				w.farSteals++
+			}
+			return id, true
+		}
+	}
+	return dag.None, false
+}
+
+// stealOldest takes the globally oldest ready task: the deque bottom with
+// the smallest sequential position (ties broken by lower core index, so the
+// choice is deterministic).
+func (w *LocalityWS) stealOldest(core int) (dag.TaskID, bool) {
+	victim, bestSeq := -1, 0
+	for c := range w.deques {
+		if c == core {
+			continue
+		}
+		id, ok := w.deques[c].peekBottom()
+		if !ok {
+			continue
+		}
+		if seq := w.d.Task(id).Seq; victim < 0 || seq < bestSeq {
+			victim, bestSeq = c, seq
+		}
+	}
+	if victim < 0 {
+		return dag.None, false
+	}
+	id, _ := w.deques[victim].popBottom()
+	w.steals++
+	return id, true
+}
+
+// Pending implements Scheduler.
+func (w *LocalityWS) Pending() int {
+	total := 0
+	for i := range w.deques {
+		total += w.deques[i].len()
+	}
+	return total
+}
+
+// Metrics implements Scheduler.
+func (w *LocalityWS) Metrics() map[string]int64 {
+	m := map[string]int64{"steals": w.steals, "local": w.local}
+	if w.policy == StealNearest {
+		m["near_steals"] = w.nearSteals
+		m["far_steals"] = w.farSteals
+	}
+	return m
+}
+
+func init() {
+	Register("ws:nearest", func() Scheduler { return NewLocalityWS(StealNearest) })
+	Register("ws:oldest", func() Scheduler { return NewLocalityWS(StealOldest) })
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubScheduler is a registerable scheduler — a central FIFO under a custom
+// name — so registry tests that add entries keep every package-wide
+// invariant (New(name).Name() == name, greedy draining) intact for the
+// other tests that iterate Names().
+type stubScheduler struct {
+	*FIFO
+	name string
+}
+
+func (s *stubScheduler) Name() string { return s.name }
+
+func stubFactory(name string) Factory {
+	return func() Scheduler { return &stubScheduler{FIFO: NewFIFO(), name: name} }
+}
+
+// testNameCounter makes test registrations unique within the process, so
+// the registry (which is global and panics on duplicates by design) stays
+// clean across repeated runs of the same binary (go test -count=N).
+var testNameCounter atomic.Int64
+
+func uniqueName(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, testNameCounter.Add(1))
+}
+
+func TestRegistryHasBuiltins(t *testing.T) {
+	for _, name := range []string{"pdf", "ws", "fifo", "sb", "ws:nearest", "ws:oldest"} {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+	}
+}
+
+func TestNamesSortedAndDerivedFromTable(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	name := uniqueName("zz-test-names")
+	Register(name, stubFactory(name))
+	grown := Names()
+	if len(grown) != len(names)+1 {
+		t.Fatalf("Names() has %d entries after registration, want %d", len(grown), len(names)+1)
+	}
+	if !sort.StringsAreSorted(grown) {
+		t.Fatalf("Names() not sorted after registration: %v", grown)
+	}
+}
+
+func TestUnknownSchedulerErrorListsValidNames(t *testing.T) {
+	_, err := New("bogus")
+	if err == nil {
+		t.Fatal("New(bogus) succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered scheduler %q", err, name)
+		}
+	}
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	mustPanic := func(why string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", why)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", stubFactory("x")) })
+	mustPanic("nil factory", func() { Register(uniqueName("zz-test-nil"), nil) })
+	mustPanic("non-canonical name", func() { Register("ZZ-Test-Case", stubFactory("zz-test-case")) })
+	dup := uniqueName("zz-test-dup")
+	Register(dup, stubFactory(dup))
+	mustPanic("duplicate name", func() { Register(dup, stubFactory(dup)) })
+}
+
+func TestNewIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"PDF", "Ws", "FIFO", "WS:NEAREST"} {
+		s, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != strings.ToLower(name) {
+			t.Errorf("New(%q).Name() = %q, want %q", name, s.Name(), strings.ToLower(name))
+		}
+	}
+}
+
+// TestConcurrentRegisterAndNew drives registrations, lookups and listings
+// from many goroutines; run with -race (CI does) to prove the registry's
+// locking admits late registrations beside running sweeps.
+func TestConcurrentRegisterAndNew(t *testing.T) {
+	const writers, readers, lookups = 8, 8, 200
+	names := make([]string, writers)
+	for w := range names {
+		names[w] = uniqueName("zz-test-conc")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			Register(name, stubFactory(name))
+		}(names[w])
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				if _, err := New("pdf"); err != nil {
+					t.Errorf("New(pdf): %v", err)
+					return
+				}
+				Names()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, name := range names {
+		if _, err := New(name); err != nil {
+			t.Errorf("New(%q) after concurrent registration: %v", name, err)
+		}
+	}
+}

@@ -1,16 +1,30 @@
 // Package sched implements the greedy thread schedulers compared in the
-// paper: Work Stealing (WS) and Parallel Depth First (PDF), plus a central
-// FIFO queue used as an ablation baseline.
+// paper — Work Stealing (WS) and Parallel Depth First (PDF) — plus a central
+// FIFO queue used as an ablation baseline, a space-bounded scheduler that
+// pins tasks to the smallest cache level or slice whose capacity fits their
+// profiled working set, and locality-guided work-stealing variants with
+// pluggable steal policies.
 //
 // The schedulers are driven by the CMP simulator (package cmpsim) through a
 // small event interface: the simulator announces tasks that became ready
-// (MakeReady) and asks for work on behalf of idle cores (Next).  Both
-// schedulers are greedy: a ready task is only left unscheduled when every
-// core is busy.
+// (MakeReady) and asks for work on behalf of idle cores (Next).  All
+// schedulers here are greedy: a ready task is only left unscheduled when
+// every core is busy.
+//
+// Schedulers are constructed by canonical name through a table-driven
+// registry (Register / New / Names), mirroring the workload registry: the
+// table — not a hardcoded switch — decides what New accepts, and programs
+// may register custom schedulers at run time.  Schedulers that want to place
+// tasks by cache capacity additionally implement MachineAware; the simulator
+// describes the machine (core count, L1 and L2-slice capacities, core→slice
+// map) before each run.  See ARCHITECTURE.md, "Registries".
 package sched
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"cmpsched/internal/dag"
 	"cmpsched/internal/minheap"
@@ -41,22 +55,75 @@ type Scheduler interface {
 	Metrics() map[string]int64
 }
 
-// New constructs a scheduler by name: "pdf", "ws" or "fifo".
-func New(name string) (Scheduler, error) {
-	switch name {
-	case "pdf", "PDF":
-		return NewPDF(), nil
-	case "ws", "WS":
-		return NewWS(), nil
-	case "fifo", "FIFO":
-		return NewFIFO(), nil
-	default:
-		return nil, fmt.Errorf("sched: unknown scheduler %q (want pdf, ws or fifo)", name)
+// Factory constructs a fresh scheduler instance.
+type Factory func() Scheduler
+
+// registry maps canonical scheduler names to factories.  The scheduler
+// files self-register from init, so the table — not a hardcoded switch —
+// decides what New accepts and what Names reports.  The mutex also admits
+// late registrations (the facade exports RegisterScheduler), e.g. from a
+// program that adds a custom scheduler while sweeps run on other
+// goroutines.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named scheduler factory.  Names are canonical spellings
+// as they appear in sweep keys and CLI flags ("pdf", "ws:nearest", ...);
+// they are matched case-insensitively by New.  Register panics on empty or
+// duplicate names and nil factories: all three are programming errors in a
+// scheduler file's init.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("sched: Register requires a name and a factory")
 	}
+	if name != strings.ToLower(name) {
+		panic(fmt.Sprintf("sched: scheduler name %q is not canonical (want lower case)", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+	}
+	registry[name] = f
 }
 
-// Names lists the available scheduler names.
-func Names() []string { return []string{"pdf", "ws", "fifo"} }
+// The built-in schedulers register here; SpaceBounded and LocalityWS
+// register in their own files.  New schedulers only need their own Register
+// call.
+func init() {
+	Register("pdf", func() Scheduler { return NewPDF() })
+	Register("ws", func() Scheduler { return NewWS() })
+	Register("fifo", func() Scheduler { return NewFIFO() })
+}
+
+// New constructs a registered scheduler by canonical name ("pdf", "ws",
+// "fifo", "sb", "ws:nearest", "ws:oldest", or any name added through
+// Register).  Lookup is case-insensitive; the error for an unknown name
+// lists every valid one.
+func New(name string) (Scheduler, error) {
+	canonical := strings.ToLower(name)
+	registryMu.RLock()
+	f, ok := registry[canonical]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (want one of %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(), nil
+}
+
+// Names lists the registered scheduler names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
 
 // ---------------------------------------------------------------------------
 // Parallel Depth First (PDF)
@@ -248,6 +315,14 @@ func (q *deque) popTop() (dag.TaskID, bool) {
 		q.reset()
 	}
 	return id, true
+}
+
+// peekBottom returns the oldest task without removing it.
+func (q *deque) peekBottom() (dag.TaskID, bool) {
+	if q.len() == 0 {
+		return dag.None, false
+	}
+	return q.items[q.head], true
 }
 
 func (q *deque) popBottom() (dag.TaskID, bool) {

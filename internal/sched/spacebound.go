@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"cmpsched/internal/dag"
+	"cmpsched/internal/minheap"
+	"cmpsched/internal/profile"
+)
+
+// SpaceBounded is a space-bounded scheduler in the spirit of Blelloch,
+// Gibbons & Simhadri: every task is annotated with a working-set estimate,
+// and a ready task is pinned to the smallest cache level or L2 slice whose
+// capacity fits that working set — tasks that fit the private L1 are pinned
+// to the core that enabled them (their parent's data is hot there), tasks
+// that fit one L2 slice are pinned to the enabling core's slice, and larger
+// tasks stay global.  Within each pool, tasks run in sequential (1DF) order,
+// like PDF, so the scheduler degenerates to PDF with core affinity on the
+// shared topology and becomes slice-aware exactly when the topology gives it
+// slices to aim at.
+//
+// Working sets come from the one-pass LruTree profiler (package profile):
+// Reset replays the DAG's sequential trace once and reads each task's
+// distinct-line count — the same machinery the coarsening pass's
+// W ≤ K·C/(2P) criterion uses (package coarsen).  If the trace cannot be
+// profiled (e.g. it overflows the profiler's index), every task is treated
+// as global and the scheduler degrades to PDF.
+//
+// One deliberate deviation from the literature: strict space-bounded
+// scheduling may leave a core idle to protect a pinned task's cache slice.
+// The simulator's contract is greedy scheduling (and its event loop only
+// re-polls idle cores on task completions), so pinning is implemented as a
+// preference order with deterministic overflow — an idle core that finds its
+// own pools empty takes work from the nearest non-empty pool, nearest slice
+// first.  The Metrics counters report how often pinning held ("pinned_l1",
+// "pinned_slice", "pinned_global" placements) versus how often work ran away
+// from its pool ("migrations").
+type SpaceBounded struct {
+	d       *dag.DAG
+	raw     Machine // as given by SetMachine; normalised into m by Reset
+	m       Machine
+	ws      []int64 // per-task working-set bytes; -1 means unknown (global)
+	coreQ   []minheap.Heap[seqItem]
+	sliceQ  []minheap.Heap[seqItem]
+	globalQ minheap.Heap[seqItem]
+	// sliceCores[s] lists the cores served by slice s, ascending.
+	sliceCores [][]int
+
+	assigned    int64
+	pinnedL1    int64
+	pinnedSlice int64
+	pinnedGlob  int64
+	migrations  int64
+}
+
+// NewSpaceBounded returns a space-bounded scheduler.
+func NewSpaceBounded() *SpaceBounded { return &SpaceBounded{} }
+
+// Name implements Scheduler.
+func (*SpaceBounded) Name() string { return "sb" }
+
+// SetMachine implements MachineAware.
+func (s *SpaceBounded) SetMachine(m Machine) { s.raw = m }
+
+// Reset implements Scheduler.  It profiles the DAG's sequential trace to
+// annotate every task with its working-set size (the generators are rewound
+// afterwards, so the simulation replays the same streams).
+func (s *SpaceBounded) Reset(d *dag.DAG, cores int) {
+	s.d = d
+	s.m = s.raw.forCores(cores)
+	s.ws = taskWorkingSets(d, s.m.LineBytes, s.ws)
+
+	s.coreQ = resetHeaps(s.coreQ, cores)
+	s.sliceQ = resetHeaps(s.sliceQ, s.m.Slices)
+	s.globalQ.Reset()
+	s.sliceCores = s.m.coresBySlice()
+	s.assigned, s.pinnedL1, s.pinnedSlice, s.pinnedGlob, s.migrations = 0, 0, 0, 0, 0
+}
+
+// resetHeaps returns a slice of n empty heaps, reusing prior storage (and
+// the heaps' backing arrays) when possible.
+func resetHeaps(h []minheap.Heap[seqItem], n int) []minheap.Heap[seqItem] {
+	if cap(h) >= n {
+		h = h[:n]
+		for i := range h {
+			h[i].Reset()
+		}
+		return h
+	}
+	return make([]minheap.Heap[seqItem], n)
+}
+
+// taskWorkingSets estimates every task's working set (distinct lines times
+// the line size) from one LruTree pass over the sequential trace, reusing
+// ws as storage.  On a profiling failure every entry is -1 (unknown).
+func taskWorkingSets(d *dag.DAG, lineBytes int64, ws []int64) []int64 {
+	n := d.NumTasks()
+	if cap(ws) >= n {
+		ws = ws[:n]
+	} else {
+		ws = make([]int64, n)
+	}
+	if lineBytes <= 0 {
+		lineBytes = 128
+	}
+	// Only the distinct-line counts are read, so one profiled cache size
+	// (the smallest valid one) keeps the histogram narrow.
+	cfg := profile.Config{LineBytes: lineBytes, CacheSizes: []int64{lineBytes}}
+	prof, err := profile.NewLruTree(cfg).ProfileDAG(d)
+	if err != nil {
+		for i := range ws {
+			ws[i] = -1
+		}
+		return ws
+	}
+	for i := range ws {
+		ws[i] = prof.Group(dag.TaskID(i), dag.TaskID(i)).WorkingSetBytes
+	}
+	return ws
+}
+
+// MakeReady implements Scheduler.  Each task is pinned to the smallest
+// cache that fits its working set, anchored at the core whose completion
+// enabled it (core -1, the DAG roots, anchor at core 0 where the sequential
+// program would begin).
+func (s *SpaceBounded) MakeReady(core int, tasks []dag.TaskID) {
+	home := core
+	if home < 0 {
+		home = 0
+	}
+	if home >= s.m.Cores {
+		home = home % s.m.Cores
+	}
+	for _, id := range tasks {
+		item := seqItem{id: id, seq: s.d.Task(id).Seq}
+		w := s.ws[id]
+		switch {
+		case w >= 0 && w <= s.m.L1Bytes:
+			s.coreQ[home].Push(item)
+			s.pinnedL1++
+		case w >= 0 && w <= s.m.L2SliceBytes:
+			s.sliceQ[s.m.SliceOf(home)].Push(item)
+			s.pinnedSlice++
+		default:
+			s.globalQ.Push(item)
+			s.pinnedGlob++
+		}
+	}
+}
+
+// Next implements Scheduler.  An idle core drains, in order: its own core
+// pool, its slice's pool, the global pool; then — to keep the scheduler
+// greedy — it overflows deterministically into the other pools of its own
+// slice and finally into other slices by increasing slice distance.
+func (s *SpaceBounded) Next(core int) (dag.TaskID, bool) {
+	if core < 0 || core >= s.m.Cores {
+		return dag.None, false
+	}
+	if s.coreQ[core].Len() > 0 {
+		return s.take(&s.coreQ[core], false)
+	}
+	slice := s.m.SliceOf(core)
+	if s.sliceQ[slice].Len() > 0 {
+		return s.take(&s.sliceQ[slice], false)
+	}
+	if s.globalQ.Len() > 0 {
+		return s.take(&s.globalQ, false)
+	}
+	// Overflow: other core pools within the own slice, scanning forward
+	// from the idle core.
+	mates := s.sliceCores[slice]
+	pos := indexOf(mates, core)
+	for i := 1; i < len(mates); i++ {
+		c := mates[(pos+i)%len(mates)]
+		if s.coreQ[c].Len() > 0 {
+			return s.take(&s.coreQ[c], true)
+		}
+	}
+	// Overflow: other slices by increasing slice distance — their slice
+	// pool first, then their core pools in index order.
+	for dist := 1; dist < s.m.Slices; dist++ {
+		v := (slice + dist) % s.m.Slices
+		if s.sliceQ[v].Len() > 0 {
+			return s.take(&s.sliceQ[v], true)
+		}
+		for _, c := range s.sliceCores[v] {
+			if s.coreQ[c].Len() > 0 {
+				return s.take(&s.coreQ[c], true)
+			}
+		}
+	}
+	return dag.None, false
+}
+
+// take pops the sequentially earliest task of a pool, counting the
+// assignment (and the migration, when the pool is not the core's own).
+func (s *SpaceBounded) take(q *minheap.Heap[seqItem], migrated bool) (dag.TaskID, bool) {
+	item := q.Pop()
+	s.assigned++
+	if migrated {
+		s.migrations++
+	}
+	return item.id, true
+}
+
+// indexOf returns the position of core in the ascending slice-core list.
+func indexOf(cores []int, core int) int {
+	for i, c := range cores {
+		if c == core {
+			return i
+		}
+	}
+	return 0
+}
+
+// Pending implements Scheduler.
+func (s *SpaceBounded) Pending() int {
+	total := s.globalQ.Len()
+	for i := range s.coreQ {
+		total += s.coreQ[i].Len()
+	}
+	for i := range s.sliceQ {
+		total += s.sliceQ[i].Len()
+	}
+	return total
+}
+
+// Metrics implements Scheduler.
+func (s *SpaceBounded) Metrics() map[string]int64 {
+	return map[string]int64{
+		"assigned":      s.assigned,
+		"pinned_l1":     s.pinnedL1,
+		"pinned_slice":  s.pinnedSlice,
+		"pinned_global": s.pinnedGlob,
+		"migrations":    s.migrations,
+	}
+}
+
+func init() {
+	Register("sb", func() Scheduler { return NewSpaceBounded() })
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"testing"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/refs"
+)
+
+// sbMachine is a 4-core machine with two L2 slices (cores {0,1} and {2,3}),
+// an 1 KB L1 and 4 KB slices, so scans of 512 B, 2 KB and 16 KB fall into
+// the L1, slice and global pools respectively.
+func sbMachine() Machine {
+	return Machine{
+		Cores:        4,
+		LineBytes:    128,
+		L1Bytes:      1 << 10,
+		L2SliceBytes: 4 << 10,
+		Slices:       2,
+		SliceOfCore:  []int{0, 0, 1, 1},
+	}
+}
+
+// sbDAG builds root -> {small, medium, large}: a 512 B, a 2 KB and a 16 KB
+// scan, each over its own address range.
+func sbDAG(t *testing.T) (*dag.DAG, [3]dag.TaskID) {
+	t.Helper()
+	d := dag.New("sb-test")
+	root := d.AddComputeTask("root", 1)
+	small := d.AddTask("small", refs.NewScan(0x1_0000_0000, 512, 128, 1))
+	medium := d.AddTask("medium", refs.NewScan(0x2_0000_0000, 2<<10, 128, 1))
+	large := d.AddTask("large", refs.NewScan(0x3_0000_0000, 16<<10, 128, 1))
+	d.Fork(root.ID, small.ID, medium.ID, large.ID)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return d, [3]dag.TaskID{small.ID, medium.ID, large.ID}
+}
+
+func TestSpaceBoundedPinsBySmallestFittingCache(t *testing.T) {
+	d, ids := sbDAG(t)
+	s := NewSpaceBounded()
+	s.SetMachine(sbMachine())
+	s.Reset(d, 4)
+
+	// Working sets must match the scans' footprints exactly.
+	for i, want := range []int64{512, 2 << 10, 16 << 10} {
+		if got := s.ws[ids[i]]; got != want {
+			t.Errorf("task %d working set = %d bytes, want %d", ids[i], got, want)
+		}
+	}
+
+	// Announce the three children as enabled by a completion on core 2
+	// (slice 1).
+	s.MakeReady(2, ids[:])
+	m := s.Metrics()
+	if m["pinned_l1"] != 1 || m["pinned_slice"] != 1 || m["pinned_global"] != 1 {
+		t.Fatalf("placement counters = %v, want one task per pool", m)
+	}
+
+	// Core 2 drains its own pools in capacity order: its L1 pool, then its
+	// slice pool, then the global pool.
+	want := []dag.TaskID{ids[0], ids[1], ids[2]}
+	for i, w := range want {
+		id, ok := s.Next(2)
+		if !ok || id != w {
+			t.Fatalf("Next(2) #%d = (%d, %v), want %d", i, id, ok, w)
+		}
+	}
+	if s.Metrics()["migrations"] != 0 {
+		t.Errorf("draining own pools counted migrations: %v", s.Metrics())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after draining", s.Pending())
+	}
+}
+
+func TestSpaceBoundedOverflowsNearestFirst(t *testing.T) {
+	d, ids := sbDAG(t)
+	s := NewSpaceBounded()
+	s.SetMachine(sbMachine())
+	s.Reset(d, 4)
+	s.MakeReady(2, ids[:])
+
+	// Core 0 (slice 0) has nothing pinned to it: it must take the global
+	// task first (no migration), then overflow into slice 1's pools —
+	// the slice pool before core 2's private pool.
+	if id, ok := s.Next(0); !ok || id != ids[2] {
+		t.Fatalf("Next(0) = (%d, %v), want global task %d", id, ok, ids[2])
+	}
+	if s.Metrics()["migrations"] != 0 {
+		t.Fatalf("global pool take counted as migration: %v", s.Metrics())
+	}
+	if id, ok := s.Next(0); !ok || id != ids[1] {
+		t.Fatalf("Next(0) = (%d, %v), want slice-1 task %d", id, ok, ids[1])
+	}
+	if id, ok := s.Next(0); !ok || id != ids[0] {
+		t.Fatalf("Next(0) = (%d, %v), want core-2 task %d", id, ok, ids[0])
+	}
+	if got := s.Metrics()["migrations"]; got != 2 {
+		t.Errorf("migrations = %d, want 2 (slice pool + foreign core pool)", got)
+	}
+}
+
+func TestSpaceBoundedWithoutMachineDegeneratesToGlobalSeqOrder(t *testing.T) {
+	d, ids := sbDAG(t)
+	s := NewSpaceBounded()
+	// No SetMachine: the fallback machine has one unbounded slice, so every
+	// task fits the "L1" of its announcing core; core 1's pool drains in
+	// sequential order and other cores overflow deterministically.
+	s.Reset(d, 2)
+	s.MakeReady(1, ids[:])
+	for i, w := range ids {
+		id, ok := s.Next(1)
+		if !ok || id != w {
+			t.Fatalf("Next(1) #%d = (%d, %v), want %d", i, id, ok, w)
+		}
+	}
+}

@@ -33,6 +33,7 @@ type counters struct {
 	hits, misses atomic.Int64
 }
 
+// Stats implements Cache.
 func (c *counters) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }

@@ -44,7 +44,10 @@ type Key struct {
 	// Params is a canonical fingerprint of the workload's build
 	// parameters (typically fmt.Sprintf("%+v", cfgStruct)).
 	Params string `json:"params"`
-	// Scheduler is "pdf", "ws", "fifo" or Sequential.
+	// Scheduler is a canonical scheduler-registry name ("pdf", "ws",
+	// "fifo", "sb", "ws:nearest", ...) or Sequential.  Parameterised
+	// spellings are part of the name, so scheduler variants never share
+	// cache entries.
 	Scheduler string `json:"scheduler"`
 	// Config is a canonical fingerprint of the CMP configuration.
 	Config string `json:"config"`

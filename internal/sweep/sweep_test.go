@@ -103,6 +103,40 @@ func TestKeyHashPinned(t *testing.T) {
 	}
 }
 
+// TestKeySchedulerAxisPinned guards the cache-key contract after the
+// scheduler-registry refactor: the new registry names ("sb", "ws:nearest",
+// "ws:oldest") must content-address to their own pinned cache entries,
+// while the pre-registry names keep their exact historical addresses (the
+// "pdf" hash below is the same literal TestKeyHashPinned has pinned since
+// before the registry existed), so sweep caches warmed by earlier builds
+// stay valid and can never serve a classic-WS result for a ws:nearest run.
+func TestKeySchedulerAxisPinned(t *testing.T) {
+	cfg, err := config.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(config.DefaultScale)
+	pinned := map[string]string{
+		"pdf":        "bb3450c04f3bd362f90839ea458740fd26a65177b5b057660bb80406270bbfc7",
+		"ws":         "012b5fa4097972a880024fcd6b5f79871a44edc5d9433419e1a7eddb1b8d3a32",
+		"sb":         "0669e18c1348259323dc21d360107330390a3af54fc5a2f915e0fde24b82852d",
+		"ws:nearest": "2c08a3dfef0e3e359f7cd32d20b77f67feff98df714bd4a62ee92ca6e5ca285c",
+		"ws:oldest":  "cccfe02ffd64e0dcb36b2e55adca28891254ba40be74ab0129094a21a451c12a",
+	}
+	seen := map[string]string{}
+	for sc, want := range pinned {
+		j := NewJob("mergesort", "{Elements:1024}", sc, cfg, nil)
+		got := j.Key.Hash()
+		if got != want {
+			t.Errorf("%s: pinned key hash changed:\n  got  %s\n  want %s", sc, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("schedulers %s and %s share a content address", prev, sc)
+		}
+		seen[got] = sc
+	}
+}
+
 // TestKeyDistinguishesTopologies guards the cache-key contract after the
 // topology refactor: two otherwise-identical runs that differ only in cache
 // topology must content-address to distinct keys, or a sweep cache warmed
