@@ -4,7 +4,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build test race-sweep doc-check vet fmt-check lint bench bench-quick ci clean
+.PHONY: all build test race-sweep doc-check vet fmt-check lint bench bench-gate bench-quick ci clean
 
 all: build
 
@@ -14,17 +14,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The concurrent pieces — the sweep engine's worker pool and the scheduler
-# registry (Register/New may race against running sweeps) — run under the
-# race detector (CI runs this step too).
+# The concurrent pieces — the sweep engine's worker pool, the scheduler
+# registry (Register/New may race against running sweeps) and the metrics
+# registry's sharded counters — run under the race detector (CI runs this
+# step too).
 race-sweep:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/...
 
-# The docs gate: the public facade and the scheduler package must carry a
-# package comment and a doc comment on every exported identifier (the rest
-# of the repository is kept clean too, but only these two gate CI).
+# The docs gate: the public facade, the scheduler package and the
+# observability package must carry a package comment and a doc comment on
+# every exported identifier (the rest of the repository is kept clean too,
+# but only these gate CI).
 doc-check:
-	$(GO) run ./cmd/doccheck . ./internal/sched
+	$(GO) run ./cmd/doccheck . ./internal/sched ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -41,8 +43,7 @@ lint: fmt-check vet doc-check
 # The simulator benchmark suite -> BENCH_simulator.json: ns/op, B/op,
 # allocs/op and the shape metrics (L2-MPKI etc.) for every Simulate*
 # benchmark, in benchstat-comparable form (each entry keeps its raw line).
-# CI runs this as a non-gating step so the perf trajectory accumulates per
-# commit; compare two commits with
+# Compare two commits with
 #   jq -r '.benchmarks[].raw' old.json > old.txt   (and likewise new)
 #   benchstat old.txt new.txt
 BENCH ?= BenchmarkSimulate
@@ -50,6 +51,19 @@ BENCHTIME ?= 1s
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_simulator.json
+
+# The gating form: rerun the suite into a scratch report and compare it with
+# cmd/benchgate against the committed BENCH_simulator.json baseline.  The
+# tolerance band: ns/op may grow at most TIME_TOLERANCE (fractional, default
+# +10%); allocs/op may not grow at all — allocation counts are deterministic,
+# so any increase is a real regression.  CI runs this step gating.
+TIME_TOLERANCE ?= 0.10
+BENCH_CANDIDATE ?= /tmp/cmpsched_bench_candidate.json
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_CANDIDATE)
+	$(GO) run ./cmd/benchgate -baseline BENCH_simulator.json \
+		-candidate $(BENCH_CANDIDATE) -time-tolerance $(TIME_TOLERANCE)
 
 # The full benchmark suite at quick scale: one iteration per benchmark so
 # the figure benchmarks, the sweep-engine serial/parallel/cached trio and

@@ -13,46 +13,20 @@
 // field, so a benchstat-ready file can be reconstructed with jq:
 //
 //	jq -r '.benchmarks[].raw' BENCH_simulator.json | benchstat old.txt /dev/stdin
+//
+// The parsing (and the regression policy of the companion gate, benchgate)
+// lives in internal/benchfmt.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
-	"time"
+
+	"cmpsched/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the full benchmark name including any -cpu suffix (e.g.
-	// "BenchmarkSimulateMergesortPDF-8").
-	Name string `json:"name"`
-	// Iterations is b.N for the reported run.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit -> value for every "<value> <unit>" pair on the
-	// line: ns/op, B/op, allocs/op and custom ReportMetric units.
-	Metrics map[string]float64 `json:"metrics"`
-	// Raw is the original line, for benchstat reconstruction.
-	Raw string `json:"raw"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	// Timestamp is the UTC generation time (RFC 3339).
-	Timestamp string `json:"timestamp"`
-	// Goos/Goarch/CPU/Pkg echo the `go test` header lines when present.
-	Goos   string `json:"goos,omitempty"`
-	Goarch string `json:"goarch,omitempty"`
-	CPU    string `json:"cpu,omitempty"`
-	Pkg    string `json:"pkg,omitempty"`
-	// Benchmarks are the parsed results in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	var (
@@ -71,7 +45,7 @@ func main() {
 		r = f
 	}
 
-	report, err := parse(r)
+	report, err := benchfmt.Parse(r)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,60 +66,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
-}
-
-// parse reads `go test -bench` output, collecting header fields and every
-// benchmark result line.
-func parse(r io.Reader) (*Report, error) {
-	report := &Report{Timestamp: time.Now().UTC().Format(time.RFC3339)}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-		case strings.HasPrefix(line, "goarch:"):
-			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-		case strings.HasPrefix(line, "cpu:"):
-			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "pkg:"):
-			report.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			b, ok := parseLine(line)
-			if ok {
-				report.Benchmarks = append(report.Benchmarks, b)
-			}
-		}
-	}
-	return report, sc.Err()
-}
-
-// parseLine parses one result line: name, iteration count, then
-// "<value> <unit>" pairs.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{
-		Name:       fields[0],
-		Iterations: iters,
-		Metrics:    make(map[string]float64, (len(fields)-2)/2),
-		Raw:        line,
-	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	return b, true
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/pprofio"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/workload"
@@ -47,6 +48,8 @@ func main() {
 		topology     = flag.String("topology", "shared", "cache topology: shared, private or clustered:<k> (k cores per L2 slice)")
 		compare      = flag.Bool("compare", false, "run PDF, WS and the sequential baseline and compare")
 		taskWS       = flag.Int64("taskws", 0, "mergesort task working-set bytes (0 = default)")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event JSON of the task lifecycle to this file (load in Perfetto)")
+		verbose      = flag.Bool("v", false, "print the metrics snapshot as a sorted key=value table at exit")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -93,8 +96,24 @@ func main() {
 	fmt.Printf("topology %s: %d L2 slice(s) of %.1f KB (%d-cycle hits)\n",
 		cfg.Topology, slices, float64(slice.SizeBytes)/1024, slice.HitLatency)
 
+	opts := cmpsim.DefaultOptions()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		opts.Tracer = tracer
+	}
+	var reg *obs.Registry
+	if *verbose {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+
 	if *compare {
-		runCompare(d, cfg)
+		if tracer != nil {
+			fatal(fmt.Errorf("-trace records a single run; it cannot be combined with -compare"))
+		}
+		runCompare(d, cfg, reg)
+		printMetrics(reg)
 		return
 	}
 
@@ -102,11 +121,47 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := cmpsim.Run(d, s, cfg)
+	res, err := cmpsim.RunWithOptions(d, s, cfg, opts)
 	if err != nil {
 		fatal(err)
 	}
 	printResult(res)
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer, d, cfg.Cores); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cmpsim: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+	printMetrics(reg)
+}
+
+// writeTrace exports the recorded lifecycle events as Chrome trace-event
+// JSON, naming each task row after its DAG task.
+func writeTrace(path string, tr *obs.Tracer, d *dag.DAG, cores int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	cfg := obs.ChromeTraceConfig{
+		Cores:    cores,
+		TaskName: func(task int32) string { return d.Task(dag.TaskID(task)).Name },
+	}
+	if err := tr.WriteChromeTrace(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printMetrics renders the -v snapshot; a nil registry prints nothing.
+func printMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Println("\nmetrics:")
+	if err := reg.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func lookupConfig(table string, cores int) (config.CMP, error) {
@@ -134,8 +189,10 @@ func buildWorkload(name string, taskWS int64, cfg config.CMP) (workload.Workload
 	return workload.New(name)
 }
 
-func runCompare(d *dag.DAG, cfg config.CMP) {
-	seq, err := cmpsim.RunSequential(d, cfg)
+func runCompare(d *dag.DAG, cfg config.CMP, reg *obs.Registry) {
+	opts := cmpsim.DefaultOptions()
+	opts.Metrics = reg
+	seq, err := cmpsim.RunSequentialWithOptions(d, cfg, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,7 +200,7 @@ func runCompare(d *dag.DAG, cfg config.CMP) {
 	fmt.Printf("%-6s %14d %10.2f %12.3f %12.1f%% %10s\n", "seq", seq.Cycles, 1.0, seq.L2MissesPerKiloInstr(), seq.MemUtilization*100, "-")
 	for _, name := range []string{"pdf", "ws"} {
 		s, _ := sched.New(name)
-		res, err := cmpsim.Run(d, s, cfg)
+		res, err := cmpsim.RunWithOptions(d, s, cfg, opts)
 		if err != nil {
 			fatal(err)
 		}

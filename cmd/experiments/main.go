@@ -28,6 +28,7 @@ import (
 
 	"cmpsched/internal/config"
 	"cmpsched/internal/experiments"
+	"cmpsched/internal/pprofio"
 )
 
 // runner couples an experiment name with its execution function.
@@ -55,11 +56,20 @@ func runners() []runner {
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology, irregular, scheduler or all")
-		quick = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
-		scale = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
+		which      = flag.String("experiment", "all", "experiment to run: fig1, fig2, fig3, fig4, fig5, fig6, fig8, grain, profiler, topology, irregular, scheduler or all")
+		quick      = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
+		scale      = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	flush, err := pprofio.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	flushProfiles = flush
+	defer flushProfiles()
 
 	opts := experiments.Options{Scale: *scale, Quick: *quick}
 	selected := strings.Split(*which, ",")
@@ -71,16 +81,25 @@ func main() {
 		start := time.Now()
 		res, err := r.run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
-			os.Exit(1)
+			fatalf(1, "%s: %v", r.name, err)
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s", r.name, time.Since(start).Seconds(), res.String())
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *which)
-		os.Exit(2)
+		fatalf(2, "unknown experiment %q", *which)
 	}
+}
+
+// flushProfiles is pprofio.Start's idempotent flush; fatalf must run it
+// before os.Exit (which skips defers) so a failed experiment — exactly the
+// kind of run worth profiling — still leaves parseable profiles.
+var flushProfiles = func() {}
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	flushProfiles()
+	os.Exit(code)
 }
 
 func wants(selected []string, name string) bool {

@@ -33,6 +33,7 @@ import (
 
 	"cmpsched/internal/config"
 	"cmpsched/internal/experiments"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/pprofio"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/stats"
@@ -55,7 +56,9 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
 		format     = flag.String("format", "table", "output format: table, csv or json")
 		out        = flag.String("o", "", "output file (empty = stdout)")
-		verbose    = flag.Bool("v", false, "log each completed job to stderr")
+		verbose    = flag.Bool("v", false, "log each completed job and print the metrics snapshot as a sorted key=value table at exit")
+		progress   = flag.Bool("progress", false, "show a live progress line on stderr (done/total, cache hits, ETA)")
+		metricsOut = flag.String("metrics-json", "", "write an expvar-style JSON metrics snapshot to this file at exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -103,7 +106,11 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	engine := sweep.NewEngine(sweep.EngineOptions{Workers: *workers, Cache: cache})
+	var reg *obs.Registry
+	if *verbose || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	engine := sweep.NewEngine(sweep.EngineOptions{Workers: *workers, Cache: cache, Metrics: reg})
 
 	w := os.Stdout
 	if *out != "" {
@@ -121,6 +128,10 @@ func main() {
 	agg := sweep.NewAggregator()
 	done := 0
 	start := time.Now()
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.NewProgress(os.Stderr, "sweep", len(jobs))
+	}
 	onResult := func(i int, r sweep.Result) {
 		agg.Add(r)
 		done++
@@ -128,8 +139,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s on %s: %d cycles%s\n",
 				done, len(jobs), r.Key, r.Sim.Config.Name, r.Sim.Cycles, cachedTag(r))
 		}
+		prog.Step(r.Cached)
 	}
 	results, err := engine.RunStream(jobs, onResult)
+	prog.Finish()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -150,6 +163,25 @@ func main() {
 
 	if *verbose || *format == "table" {
 		printSummary(os.Stderr, agg, engine, cache, len(jobs), elapsed)
+	}
+	if *verbose {
+		fmt.Fprintln(os.Stderr, "\nmetrics:")
+		if err := reg.WriteTable(os.Stderr); err != nil {
+			fatalf("write metrics: %v", err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fatalf("write metrics json: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// schema cmpsim's -trace flag emits: well-formed trace-event objects, nested
+// B/E duration slices per core row, thread-scoped instants, and at least one
+// event per required task-lifecycle stage.  It is the observability
+// equivalent of cmd/doccheck — a dependency-free Go checker that CI runs on
+// a freshly produced trace — and exits non-zero with the first violation.
+//
+// Usage:
+//
+//	cmpsim -workload mergesort -sched ws -trace trace.json
+//	tracecheck trace.json
+//	tracecheck -require spawn,ready,run,finish,steal trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmpsched/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "spawn,ready,run,finish",
+		"comma-separated lifecycle stages that must each appear at least once (spawn, ready, run, finish, steal, migrate, pin)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require stages] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var stages []string
+	for _, s := range strings.Split(*require, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			stages = append(stages, s)
+		}
+	}
+	if err := obs.ValidateChromeTrace(data, stages); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Printf("tracecheck: %s is a valid trace (stages %s present)\n", path, strings.Join(stages, ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

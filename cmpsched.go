@@ -23,6 +23,9 @@
 //   - the LruTree one-pass working-set profiler, the SetAssoc baseline and
 //     the automatic task-coarsening pass (internal/profile,
 //     internal/coarsen),
+//   - the zero-cost-when-off observability layer: a task-lifecycle tracer
+//     with Chrome trace-event export, a metrics registry and a live
+//     progress reporter (internal/obs),
 //   - and the experiment harness that regenerates every table and figure of
 //     the paper's evaluation (internal/experiments).
 //
@@ -40,12 +43,15 @@
 package cmpsched
 
 import (
+	"io"
+
 	"cmpsched/internal/cache"
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/coarsen"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
 	"cmpsched/internal/experiments"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/profile"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/sweep"
@@ -165,6 +171,32 @@ type (
 	// SweepWorkloadFactory builds workloads for sweep specifications; see
 	// ExperimentOptions.WorkloadFactory for the paper-sized inputs.
 	SweepWorkloadFactory = sweep.WorkloadFactory
+
+	// Tracer records task-lifecycle events (spawn, ready, run, steal,
+	// migrate, pin, finish) stamped with simulated cycles; attach one via
+	// SimOptions.Tracer.  A nil *Tracer is a valid no-op sink: every method
+	// is nil-receiver-safe, so instrumented code never branches on "is
+	// tracing on".
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded lifecycle event.
+	TraceEvent = obs.Event
+	// TraceEventKind discriminates lifecycle events (spawn, ready, run,
+	// steal, migrate, pin, finish).
+	TraceEventKind = obs.EventKind
+	// ChromeTraceConfig controls Chrome trace-event JSON export
+	// (Tracer.WriteChromeTrace): core count and an optional task-name
+	// resolver for human-readable duration rows.
+	ChromeTraceConfig = obs.ChromeTraceConfig
+	// MetricsRegistry is a named collection of counters, gauges, histograms
+	// and sharded counters with snapshot-on-demand export; attach one via
+	// SimOptions.Metrics or SweepEngineOptions.Metrics.  A nil *Registry
+	// hands out nil instruments whose methods are no-ops.
+	MetricsRegistry = obs.Registry
+	// MetricSample is one name/value pair of a MetricsRegistry snapshot.
+	MetricSample = obs.Sample
+	// SweepProgress is a live line-oriented progress reporter for sweep
+	// runs (the -progress flag of cmd/sweep).
+	SweepProgress = obs.Progress
 )
 
 // DefaultScale is the factor by which cache capacities and workload inputs
@@ -337,6 +369,25 @@ func CoarsenTasks(p *Profile, tree *GroupTree, params CoarsenParams) (*CoarsenSe
 // group into a single sequential task.
 func CollapseDAG(d *DAG, tree *GroupTree, sel *CoarsenSelection) (*DAG, error) {
 	return coarsen.CollapseDAG(d, tree, sel)
+}
+
+// NewTracer returns an empty task-lifecycle tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSweepProgress returns a progress reporter writing to w, labelled label,
+// expecting total steps.
+func NewSweepProgress(w io.Writer, label string, total int) *SweepProgress {
+	return obs.NewProgress(w, label, total)
+}
+
+// ValidateChromeTrace structurally checks an exported Chrome trace-event
+// document: well-formed JSON, matched begin/end nesting per thread row, and
+// the presence of every required lifecycle stage (cmd/tracecheck wraps it).
+func ValidateChromeTrace(data []byte, required []string) error {
+	return obs.ValidateChromeTrace(data, required)
 }
 
 // NewSweepEngine returns a parallel sweep engine (see internal/sweep).

@@ -1,0 +1,15 @@
+package cache
+
+import "cmpsched/internal/obs"
+
+// Publish folds the statistics into reg as counters under prefix (e.g.
+// "cache.l1" yields "cache.l1.hits").  Counters accumulate, so publishing
+// the stats of successive runs — a sweep's jobs — sums them; publishing into
+// a nil registry is a no-op.
+func (s Stats) Publish(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + ".accesses").Add(s.Accesses)
+	reg.Counter(prefix + ".hits").Add(s.Hits)
+	reg.Counter(prefix + ".misses").Add(s.Misses)
+	reg.Counter(prefix + ".evictions").Add(s.Evictions)
+	reg.Counter(prefix + ".writebacks").Add(s.Writebacks)
+}

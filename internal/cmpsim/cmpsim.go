@@ -38,6 +38,7 @@ import (
 	"cmpsched/internal/dag"
 	"cmpsched/internal/memsys"
 	"cmpsched/internal/minheap"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/refs"
 	"cmpsched/internal/sched"
 )
@@ -54,6 +55,31 @@ type Options struct {
 	// default in Run; disable for repeated runs of an already-validated
 	// DAG.
 	ValidateDAG bool
+
+	// Tracer, when non-nil, records the task-lifecycle event stream
+	// (spawn/ready/run/finish, plus steal/migrate/pin from trace-aware
+	// schedulers).  Tracing observes only per-task scheduling points — never
+	// the per-reference hot loop — and a nil tracer is a guaranteed no-op,
+	// so disabled runs are cycle- and allocation-identical to uninstrumented
+	// ones.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives end-of-run counters and histograms
+	// (cycles, cache stats, arbiter stalls, scheduler metrics, workload
+	// annotations).  Publishing happens once after the run completes; a nil
+	// registry costs nothing.
+	Metrics *obs.Registry
+}
+
+// Fingerprint renders the semantically significant options — the ones that
+// can change simulation results — in a stable format.  Instrumentation sinks
+// (Tracer, Metrics) are deliberately excluded: they observe a run without
+// affecting it, and including their pointer values would make content-derived
+// cache keys (sweep.Job.WithOptions) nondeterministic.  The format matches
+// the historical fmt %+v rendering of the pre-instrumentation struct, so
+// existing pinned sweep keys are preserved byte for byte.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("{MaxCycles:%d RecordTaskStats:%t ValidateDAG:%t}",
+		o.MaxCycles, o.RecordTaskStats, o.ValidateDAG)
 }
 
 // DefaultOptions returns the options used by Run.
@@ -263,6 +289,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	// what machine they are placing tasks onto before Reset; the classic
 	// schedulers ignore this entirely, so their event streams — and the
 	// golden fingerprints pinned on them — are untouched.
+	// Trace-aware schedulers emit steal/migrate/pin events through the same
+	// tracer the simulator stamps lifecycle events into.  The tracer is set
+	// unconditionally (nil clears any sink from a previous run), and a nil
+	// tracer makes every emission a no-op, so untraced runs behave exactly
+	// as before.
+	if ta, ok := s.(sched.TraceAware); ok {
+		ta.SetTracer(opts.Tracer)
+	}
 	if ma, ok := s.(sched.MachineAware); ok {
 		sliceOf := make([]int, p)
 		for c := range sliceOf {
@@ -306,6 +340,15 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	// the shared topology the slice latency is exactly cfg.L2.HitLatency.
 	l2Lat := hier.SliceConfig().HitLatency
 
+	tr := opts.Tracer
+	// The queue-depth histogram is the only in-run metric; its handle is
+	// resolved once here and the observation below is gated on it, so a
+	// disabled registry adds no work to the completion path.
+	var qdepth *obs.Histogram
+	if opts.Metrics != nil {
+		qdepth = opts.Metrics.Histogram("sched.queue_depth", obs.ExpBuckets(1, 2, 14))
+	}
+
 	// assign hands ready tasks to idle cores at time now, trying prefer
 	// first (the core that just completed a task), then the others in
 	// index order.
@@ -318,6 +361,7 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 			if !ok {
 				return
 			}
+			tr.Run(int32(id), int32(c))
 			t := d.Task(id)
 			if t.Refs != nil {
 				t.Refs.Reset()
@@ -341,6 +385,13 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	roots := d.Roots()
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("cmpsim: DAG %q has no root tasks", d.Name)
+	}
+	// Roots spawn before any core runs (core -1, time 0) — the sequential
+	// program point at which the parallel computation begins.
+	tr.SetTime(0)
+	for _, id := range roots {
+		tr.Spawn(int32(id), -1)
+		tr.Ready(int32(id), -1)
 	}
 	s.MakeReady(-1, roots)
 
@@ -447,10 +498,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 				}
 			}
 			completed++
+			tr.SetTime(now)
+			tr.Finish(int32(task.ID), int32(c))
 			ready = ready[:0]
 			for _, succ := range task.Succs {
 				indeg[succ]--
 				if indeg[succ] == 0 {
+					tr.Spawn(int32(succ), int32(c))
+					tr.Ready(int32(succ), int32(c))
 					ready = append(ready, succ)
 				}
 			}
@@ -458,6 +513,9 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 			*st = coreState{buf: buf}
 			if len(ready) > 0 {
 				s.MakeReady(c, ready)
+			}
+			if qdepth != nil {
+				qdepth.Observe(int64(s.Pending()))
 			}
 			assign(now, c)
 			break
@@ -485,5 +543,44 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		SchedMetrics:   s.Metrics(),
 		TaskStats:      taskStats,
 	}
+	if opts.Metrics != nil {
+		publish(opts.Metrics, res, d)
+	}
 	return res, nil
+}
+
+// publish folds one run's results into the registry: totals as counters (so
+// repeated runs — a sweep's jobs — accumulate), workload annotations as
+// gauges, and per-task distributions as histograms.  The registry sorts its
+// snapshot and every value here derives from deterministic simulation state,
+// so the published view is reproducible run over run.
+func publish(reg *obs.Registry, res *Result, d *dag.DAG) {
+	reg.Counter("sim.runs").Add(1)
+	reg.Counter("sim.cycles").Add(res.Cycles)
+	reg.Counter("sim.instructions").Add(res.Instructions)
+	reg.Counter("sim.refs").Add(res.Refs)
+	reg.Counter("sim.tasks").Add(int64(res.TasksExecuted))
+	res.L1.Publish(reg, "cache.l1")
+	res.L2.Publish(reg, "cache.l2")
+	res.Mem.Publish(reg, "mem")
+	// Arbiter stalls: queueing attributed across every off-chip port.
+	var queue int64
+	for _, ps := range res.MemPorts {
+		queue += ps.QueueCycles
+	}
+	reg.Counter("mem.arbiter.queue_cycles").Add(queue)
+	for name, v := range res.SchedMetrics {
+		reg.Counter("sched." + name).Add(v)
+	}
+	for name, v := range d.Metrics() {
+		reg.Gauge("dag." + name).Set(v)
+	}
+	if res.TaskStats != nil {
+		cyc := reg.Histogram("task.cycles", obs.ExpBuckets(64, 4, 10))
+		miss := reg.Histogram("task.l2_misses", obs.ExpBuckets(1, 4, 8))
+		for _, ts := range res.TaskStats {
+			cyc.Observe(ts.End - ts.Start)
+			miss.Observe(ts.L2Misses)
+		}
+	}
 }

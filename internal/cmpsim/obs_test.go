@@ -1,0 +1,192 @@
+package cmpsim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cmpsched/internal/cache"
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/config"
+	"cmpsched/internal/obs"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/workload"
+)
+
+// tracedRun simulates the small mergesort under name, recording into a fresh
+// tracer, and returns the tracer plus the result.
+func tracedRun(t *testing.T, name string, topo cache.Topology) (*obs.Tracer, *cmpsim.Result) {
+	t.Helper()
+	d, _, err := workload.NewMergesort(workload.MergesortConfig{
+		Elements: 32 << 10, TaskWorkingSetBytes: 4 << 10,
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(config.DefaultScale * 8).WithTopology(topo)
+	s, err := sched.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cmpsim.DefaultOptions()
+	tr := obs.NewTracer()
+	opts.Tracer = tr
+	res, err := cmpsim.RunWithOptions(d, s, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+// TestTraceLifecycleCoverage checks that every scheduler's trace carries the
+// lifecycle stages it can produce: all schedulers spawn/ready/run/finish
+// every task; the stealing schedulers add steal events; the space-bounded
+// scheduler adds pin events.
+func TestTraceLifecycleCoverage(t *testing.T) {
+	cases := []struct {
+		sched string
+		topo  cache.Topology
+		want  []obs.EventKind
+	}{
+		{"pdf", cache.Shared(), []obs.EventKind{obs.EvSpawn, obs.EvReady, obs.EvRun, obs.EvFinish}},
+		{"ws", cache.Shared(), []obs.EventKind{obs.EvSpawn, obs.EvReady, obs.EvRun, obs.EvFinish, obs.EvSteal}},
+		{"ws:nearest", cache.Clustered(4), []obs.EventKind{obs.EvSpawn, obs.EvReady, obs.EvRun, obs.EvFinish, obs.EvSteal}},
+		{"sb", cache.Clustered(4), []obs.EventKind{obs.EvSpawn, obs.EvReady, obs.EvRun, obs.EvFinish, obs.EvPin}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sched, func(t *testing.T) {
+			tr, res := tracedRun(t, tc.sched, tc.topo)
+			counts := map[obs.EventKind]int{}
+			for _, e := range tr.Events() {
+				counts[e.Kind]++
+			}
+			for _, kind := range tc.want {
+				if counts[kind] == 0 {
+					t.Errorf("no %s events recorded (counts %v)", kind, counts)
+				}
+			}
+			// Every task runs and finishes exactly once.
+			if counts[obs.EvRun] != res.TasksExecuted || counts[obs.EvFinish] != res.TasksExecuted {
+				t.Errorf("run/finish = %d/%d, want %d each",
+					counts[obs.EvRun], counts[obs.EvFinish], res.TasksExecuted)
+			}
+		})
+	}
+}
+
+// TestTraceExportDeterministicAcrossReruns pins the determinism contract of
+// the -trace flag: rebuilding the same workload and rerunning the same
+// scheduler yields a byte-identical Chrome trace document.
+func TestTraceExportDeterministicAcrossReruns(t *testing.T) {
+	export := func() []byte {
+		tr, _ := tracedRun(t, "ws", cache.Shared())
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf, obs.ChromeTraceConfig{Cores: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs exported different trace documents (%d vs %d bytes)", len(a), len(b))
+	}
+	if err := obs.ValidateChromeTrace(a, []string{"spawn", "ready", "run", "finish", "steal"}); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+}
+
+// TestInstrumentationDoesNotChangeResults is the zero-cost contract from the
+// result side: a fully observed run (tracer + metrics + task stats) produces
+// exactly the same simulation outcome as an unobserved one.  Together with
+// TestGoldenEngineEquivalence (unchanged pre-instrumentation fingerprints)
+// this proves observation never perturbs the simulation.
+func TestInstrumentationDoesNotChangeResults(t *testing.T) {
+	run := func(observe bool) *cmpsim.Result {
+		d, _, err := workload.NewMergesort(workload.MergesortConfig{
+			Elements: 32 << 10, TaskWorkingSetBytes: 4 << 10,
+		}).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := config.Default(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg = cfg.Scaled(config.DefaultScale * 8)
+		opts := cmpsim.DefaultOptions()
+		if observe {
+			opts.Tracer = obs.NewTracer()
+			opts.Metrics = obs.NewRegistry()
+		}
+		res, err := cmpsim.RunWithOptions(d, sched.NewWS(), cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, observed := run(false), run(true)
+	if plain.Cycles != observed.Cycles ||
+		plain.L2.Misses != observed.L2.Misses ||
+		plain.Mem.Fetches != observed.Mem.Fetches ||
+		!reflect.DeepEqual(plain.SchedMetrics, observed.SchedMetrics) ||
+		!reflect.DeepEqual(plain.CoreBusyCycles, observed.CoreBusyCycles) {
+		t.Fatalf("observation changed the simulation:\nplain    cycles=%d l2=%d sched=%v\nobserved cycles=%d l2=%d sched=%v",
+			plain.Cycles, plain.L2.Misses, plain.SchedMetrics,
+			observed.Cycles, observed.L2.Misses, observed.SchedMetrics)
+	}
+}
+
+// TestOptionsFingerprintStable pins the byte format sweep keys depend on:
+// it must match the historical fmt %+v rendering of the pre-instrumentation
+// Options struct, and must not move when instrumentation sinks are attached.
+func TestOptionsFingerprintStable(t *testing.T) {
+	opts := cmpsim.Options{MaxCycles: 5000, RecordTaskStats: true}
+	want := "{MaxCycles:5000 RecordTaskStats:true ValidateDAG:false}"
+	if got := opts.Fingerprint(); got != want {
+		t.Fatalf("Fingerprint() = %q, want %q", got, want)
+	}
+	opts.Tracer = obs.NewTracer()
+	opts.Metrics = obs.NewRegistry()
+	if got := opts.Fingerprint(); got != want {
+		t.Fatalf("instrumentation sinks moved the fingerprint: %q", got)
+	}
+}
+
+// TestMetricsPublishDAGAnnotations checks that workload-recorded DAG metrics
+// (the graph kernels' frontier sizes) surface in the registry under the
+// "dag." prefix.
+func TestMetricsPublishDAGAnnotations(t *testing.T) {
+	d, _, err := workload.NewBFS(workload.BFSConfig{
+		Shape: workload.GraphShape{Family: "uniform", Vertices: 1 << 10, EdgesPerTask: 256},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := config.Default(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = cfg.Scaled(config.DefaultScale * 8)
+	opts := cmpsim.DefaultOptions()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	if _, err := cmpsim.RunWithOptions(d, sched.NewPDF(), cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	var levels, frontiers int64
+	for _, s := range reg.Snapshot() {
+		switch {
+		case s.Name == "dag.bfs.levels":
+			levels = s.Value
+		case len(s.Name) > len("dag.bfs.frontier.") && s.Name[:len("dag.bfs.frontier.")] == "dag.bfs.frontier.":
+			frontiers++
+		}
+	}
+	if levels == 0 || frontiers != levels {
+		t.Fatalf("dag annotations not published: levels=%d, frontier entries=%d", levels, frontiers)
+	}
+}

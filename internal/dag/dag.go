@@ -70,7 +70,25 @@ type DAG struct {
 	// Name identifies the workload instance that produced the DAG.
 	Name  string
 	tasks []*Task
+	// metrics holds workload-recorded scalar annotations (see RecordMetric).
+	metrics map[string]int64
 }
+
+// RecordMetric attaches a named scalar annotation to the DAG — facts only
+// the workload builder knows, such as the per-level frontier sizes of the
+// graph kernels.  The simulator publishes annotations into its metrics
+// registry (prefixed "dag.") when metrics are enabled; they have no effect
+// on the simulation itself.
+func (d *DAG) RecordMetric(name string, v int64) {
+	if d.metrics == nil {
+		d.metrics = make(map[string]int64)
+	}
+	d.metrics[name] = v
+}
+
+// Metrics returns the workload-recorded annotations (nil when none were
+// recorded).  The map is the DAG's own; callers must not mutate it.
+func (d *DAG) Metrics() map[string]int64 { return d.metrics }
 
 // New returns an empty DAG with the given name.
 func New(name string) *DAG {

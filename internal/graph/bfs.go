@@ -39,7 +39,9 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 	tree.Own(tree.Root, initTask.ID)
 
 	prevBarrier := initTask.ID
+	d.RecordMetric("bfs.levels", int64(len(levels)))
 	for level, frontier := range levels {
+		d.RecordMetric(fmt.Sprintf("bfs.frontier.level_%02d.vertices", level), int64(len(frontier)))
 		parity := level % 2
 		group := tree.AddChild(tree.Root, fmt.Sprintf("bfs-level%d", level), "graph/bfs.go:level", 0, level)
 		var groupBytes int64

@@ -60,6 +60,8 @@ func BellmanFord(g *CSR, source int64, seed uint64, maxWeight, maxRounds int64, 
 	prevBarrier := initTask.ID
 	active := []int32{int32(source)}
 	for round := 0; len(active) > 0 && (maxRounds == 0 || int64(round) < maxRounds); round++ {
+		d.RecordMetric(fmt.Sprintf("sssp.active.round_%02d.vertices", round), int64(len(active)))
+		d.RecordMetric("sssp.rounds", int64(round)+1)
 		parity := round % 2
 		group := tree.AddChild(tree.Root, fmt.Sprintf("sssp-round%d", round), "graph/sssp.go:round", 0, round)
 		var groupBytes int64

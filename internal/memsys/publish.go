@@ -1,0 +1,13 @@
+package memsys
+
+import "cmpsched/internal/obs"
+
+// Publish folds the statistics into reg as counters under prefix (e.g.
+// "mem" yields "mem.fetches").  Counters accumulate across publishes;
+// publishing into a nil registry is a no-op.
+func (s Stats) Publish(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + ".fetches").Add(s.Fetches)
+	reg.Counter(prefix + ".writebacks").Add(s.Writebacks)
+	reg.Counter(prefix + ".queue_cycles").Add(s.QueueCycles)
+	reg.Counter(prefix + ".busy_cycles").Add(s.BusyCycles)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeTraceConfig parameterises WriteChromeTrace.
+type ChromeTraceConfig struct {
+	// Cores, when positive, pre-declares that many named core rows even if
+	// some recorded no events; zero infers the rows from the events.
+	Cores int
+	// TaskName, when non-nil, names the per-task slices (e.g. from the
+	// DAG's task labels); nil falls back to "task <id>".
+	TaskName func(task int32) string
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format.  The
+// fields are fixed-order structs (not maps) so encoding/json renders the
+// document byte-deterministically.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat,omitempty"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`
+	PID   int    `json:"pid"`
+	TID   int32  `json:"tid"`
+	Scope string `json:"s,omitempty"`
+	Args  any    `json:"args,omitempty"`
+}
+
+// The args payloads shown in the Perfetto detail pane, one fixed-order
+// struct per event shape (task IDs and victim cores are not omitempty:
+// task 0 and core 0 are valid values).
+type (
+	threadNameArgs struct {
+		Name string `json:"name"`
+	}
+	taskArgs struct {
+		Task int32 `json:"task"`
+	}
+	stealArgs struct {
+		Task   int32 `json:"task"`
+		Victim int32 `json:"victim"`
+	}
+	pinArgs struct {
+		Task  int32  `json:"task"`
+		Level string `json:"level"`
+	}
+)
+
+// chromeDoc is the JSON Object Format wrapper.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit is advisory; timestamps are simulated cycles mapped
+	// onto the format's microsecond field.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// pinLevelName renders an EvPin Aux value for trace args.
+func pinLevelName(level int32) string {
+	switch level {
+	case PinL1:
+		return "l1"
+	case PinSlice:
+		return "slice"
+	case PinGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("level(%d)", level)
+	}
+}
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load).  Each core is one thread
+// row: task executions render as nested B/E duration slices, and the other
+// lifecycle stages (spawn, ready, steal, migrate, pin) render as instant
+// events on the row of the core they are attributed to.  Timestamps are
+// simulated cycles written into the format's microsecond field, so one
+// displayed microsecond is one cycle.
+//
+// The export is deterministic: events appear in emission order (which the
+// simulator guarantees is simulation order) and the encoding uses
+// fixed-order structs, so identical runs produce byte-identical documents.
+func (t *Tracer) WriteChromeTrace(w io.Writer, cfg ChromeTraceConfig) error {
+	events := t.Events()
+	maxCore := int32(cfg.Cores) - 1
+	for _, e := range events {
+		if e.Core > maxCore {
+			maxCore = e.Core
+		}
+	}
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+int(maxCore)+1)}
+	for c := int32(0); c <= maxCore; c++ {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Phase: "M", PID: 0, TID: c,
+			Args: threadNameArgs{Name: fmt.Sprintf("core %d", c)},
+		})
+	}
+	taskName := cfg.TaskName
+	if taskName == nil {
+		taskName = func(task int32) string { return fmt.Sprintf("task %d", task) }
+	}
+	for _, e := range events {
+		tid := e.Core
+		if tid < 0 {
+			// DAG roots spawn before any core runs; attribute them to
+			// core 0, where the sequential program would begin.
+			tid = 0
+		}
+		switch e.Kind {
+		case EvRun:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: taskName(e.Task), Cat: "task", Phase: "B", TS: e.Time, TID: tid,
+				Args: taskArgs{Task: e.Task},
+			})
+		case EvFinish:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: taskName(e.Task), Cat: "task", Phase: "E", TS: e.Time, TID: tid,
+			})
+		case EvSteal:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Cat: "sched", Phase: "i", TS: e.Time, TID: tid, Scope: "t",
+				Args: stealArgs{Task: e.Task, Victim: e.Aux},
+			})
+		case EvPin:
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Cat: "sched", Phase: "i", TS: e.Time, TID: tid, Scope: "t",
+				Args: pinArgs{Task: e.Task, Level: pinLevelName(e.Aux)},
+			})
+		default: // spawn, ready, migrate
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: e.Kind.String(), Cat: "lifecycle", Phase: "i", TS: e.Time, TID: tid, Scope: "t",
+				Args: taskArgs{Task: e.Task},
+			})
+		}
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("obs: encode chrome trace: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}

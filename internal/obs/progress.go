@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live progress reporter for long job streams (cmd/sweep's
+// -progress flag).  Each Step rewrites one status line in place (carriage
+// return, no newline) with done/total, percentage, cache hits, elapsed time,
+// mean per-job time and a naive ETA; Finish prints the final summary line
+// and a newline.  Methods are serialised by a mutex so streaming callbacks
+// need no locking of their own.
+//
+// A nil *Progress is the disabled state: every method returns immediately,
+// so callers hold one pointer and never branch on whether reporting is on.
+type Progress struct {
+	mu     sync.Mutex
+	w      io.Writer
+	label  string
+	total  int
+	done   int
+	cached int
+	start  time.Time
+}
+
+// NewProgress returns a reporter writing to w, labelled (e.g. "sweep"),
+// expecting total steps.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	return &Progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// Step records one completed job (cached reports whether it was served from
+// the result cache) and redraws the status line.
+func (p *Progress) Step(cached bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if cached {
+		p.cached++
+	}
+	elapsed := time.Since(p.start)
+	line := fmt.Sprintf("\r%s: %d/%d (%.0f%%) cached %d | %.1fs elapsed",
+		p.label, p.done, p.total, pct(p.done, p.total), p.cached, elapsed.Seconds())
+	if p.done > 0 && p.done < p.total {
+		perJob := elapsed / time.Duration(p.done)
+		eta := perJob * time.Duration(p.total-p.done)
+		line += fmt.Sprintf(", %.0fms/job, ~%.1fs left", float64(perJob.Microseconds())/1000, eta.Seconds())
+	}
+	fmt.Fprint(p.w, line)
+}
+
+// Finish terminates the status line with a final summary and newline.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s: %d/%d done, %d cached, %.2fs total%s\n",
+		p.label, p.done, p.total, p.cached, time.Since(p.start).Seconds(),
+		"                    ") // pad over any longer prior line
+}
+
+// pct returns 100*a/b, tolerating b == 0.
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 100
+	}
+	return 100 * float64(a) / float64(b)
+}

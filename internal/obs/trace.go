@@ -1,0 +1,167 @@
+package obs
+
+// EventKind classifies one task-lifecycle event.
+type EventKind uint8
+
+// The task lifecycle stages recorded by the tracer.  Spawn, Ready, Run and
+// Finish are emitted by the simulator for every task; Steal, Migrate and Pin
+// are emitted by the schedulers whose policies produce them (work stealing,
+// locality-guided stealing, space-bounded placement).
+const (
+	// EvSpawn marks a task's dependences being satisfied: its last
+	// predecessor finished on Core (-1 for DAG roots, which spawn at the
+	// start of the run).
+	EvSpawn EventKind = iota
+	// EvReady marks the task entering the scheduler's ready structures.
+	// In this simulator readiness and enqueueing are simultaneous, so an
+	// EvReady always carries the same timestamp as its EvSpawn.
+	EvReady
+	// EvRun marks the task being assigned to Core and starting execution.
+	EvRun
+	// EvFinish marks the task completing on Core.
+	EvFinish
+	// EvSteal marks the task being taken from another core's ready pool by
+	// an idle core; Core is the thief and Aux the victim core.
+	EvSteal
+	// EvMigrate marks a space-bounded task running away from its pinned
+	// pool to keep the schedule greedy; Core is the core that took it.
+	EvMigrate
+	// EvPin marks a space-bounded placement decision; Core is the anchor
+	// core and Aux one of PinL1, PinSlice, PinGlobal.
+	EvPin
+)
+
+// Aux values for EvPin events: the smallest cache level that fits the
+// task's profiled working set.
+const (
+	// PinL1 pins the task to the enabling core's private L1.
+	PinL1 int32 = iota
+	// PinSlice pins the task to the enabling core's L2 slice.
+	PinSlice
+	// PinGlobal leaves the task in the global pool.
+	PinGlobal
+)
+
+// String returns the canonical lower-case event name used in trace exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvReady:
+		return "ready"
+	case EvRun:
+		return "run"
+	case EvFinish:
+		return "finish"
+	case EvSteal:
+		return "steal"
+	case EvMigrate:
+		return "migrate"
+	case EvPin:
+		return "pin"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded lifecycle event.  Time is in simulated cycles; Core
+// and Task identify where and what; Aux carries the kind-specific extra
+// (steal victim, pin level), -1 when unused.
+type Event struct {
+	// Time is the simulated cycle the event occurred at.
+	Time int64
+	// Task is the DAG task ID.
+	Task int32
+	// Core is the core the event is attributed to (-1 for DAG roots).
+	Core int32
+	// Aux is the kind-specific payload: victim core for EvSteal, pin level
+	// for EvPin, -1 otherwise.
+	Aux int32
+	// Kind is the lifecycle stage.
+	Kind EventKind
+}
+
+// Tracer records task-lifecycle events in simulation order.  The simulator
+// advances the tracer's clock (SetTime) as it processes events, so emitters
+// that do not know the simulated time — the schedulers — still produce
+// correctly stamped events.
+//
+// A nil *Tracer is the disabled state: every method is nil-receiver safe
+// and returns immediately, so instrumentation points need no branches and a
+// disabled run records, allocates and perturbs nothing.  Tracers are not
+// safe for concurrent use; like the scheduler interface, they are driven
+// from the simulator's single goroutine.
+type Tracer struct {
+	now    int64
+	events []Event
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Reset discards recorded events (keeping storage) and rewinds the clock,
+// so a tracer can be reused across runs.  The simulator resets the tracer
+// at the start of every run, making each run's trace self-contained.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.now = 0
+	t.events = t.events[:0]
+}
+
+// SetTime advances the tracer's clock to the given simulated cycle; events
+// emitted afterwards are stamped with it.
+func (t *Tracer) SetTime(now int64) {
+	if t == nil {
+		return
+	}
+	t.now = now
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order.  The slice aliases
+// the tracer's storage; callers must not retain it across Reset.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+func (t *Tracer) emit(kind EventKind, task, core, aux int32) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{Time: t.now, Task: task, Core: core, Aux: aux, Kind: kind})
+}
+
+// Spawn records a task's dependences being satisfied by a completion on
+// core (-1 for DAG roots).
+func (t *Tracer) Spawn(task, core int32) { t.emit(EvSpawn, task, core, -1) }
+
+// Ready records the task entering the scheduler's ready structures.
+func (t *Tracer) Ready(task, core int32) { t.emit(EvReady, task, core, -1) }
+
+// Run records the task starting execution on core.
+func (t *Tracer) Run(task, core int32) { t.emit(EvRun, task, core, -1) }
+
+// Finish records the task completing on core.
+func (t *Tracer) Finish(task, core int32) { t.emit(EvFinish, task, core, -1) }
+
+// Steal records thief taking the task from victim's ready pool.
+func (t *Tracer) Steal(task, thief, victim int32) { t.emit(EvSteal, task, thief, victim) }
+
+// Migrate records the task overflowing out of its pinned pool onto core.
+func (t *Tracer) Migrate(task, core int32) { t.emit(EvMigrate, task, core, -1) }
+
+// Pin records a placement decision for the task: level is PinL1, PinSlice
+// or PinGlobal, anchored at core.
+func (t *Tracer) Pin(task, core, level int32) { t.emit(EvPin, task, core, level) }

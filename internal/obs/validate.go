@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// JSON document of the shape WriteChromeTrace emits, and that every required
+// lifecycle stage appears at least once.  Stage names are the EventKind
+// strings ("spawn", "ready", "run", "finish", "steal", "migrate", "pin");
+// "run" and "finish" are carried by B and E duration events, the rest by
+// instants.  It is the schema gate behind cmd/tracecheck: pure validation
+// against the documented format, no external trace tooling required.
+//
+// The checks: the document parses, traceEvents is non-empty, every event has
+// a name and a known phase (B, E, i, M), timestamps are non-negative,
+// instants carry thread scope, and B/E events nest per thread row (an E
+// always closes the B of the same task on the same row).
+func ValidateChromeTrace(data []byte, required []string) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name  string          `json:"name"`
+			Cat   string          `json:"cat"`
+			Phase string          `json:"ph"`
+			TS    int64           `json:"ts"`
+			TID   int32           `json:"tid"`
+			Scope string          `json:"s"`
+			Args  json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+
+	seen := map[string]int{}
+	open := map[int32][]string{} // per-row stack of open B slice names
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if e.TS < 0 {
+			return fmt.Errorf("event %d (%s): negative timestamp %d", i, e.Name, e.TS)
+		}
+		if e.TID < 0 {
+			return fmt.Errorf("event %d (%s): negative tid %d", i, e.Name, e.TID)
+		}
+		switch e.Phase {
+		case "M":
+			// Metadata rows (thread names) carry no stage.
+		case "B":
+			seen["run"]++
+			open[e.TID] = append(open[e.TID], e.Name)
+		case "E":
+			seen["finish"]++
+			stack := open[e.TID]
+			if len(stack) == 0 {
+				return fmt.Errorf("event %d (%s): E without open B on row %d", i, e.Name, e.TID)
+			}
+			if top := stack[len(stack)-1]; top != e.Name {
+				return fmt.Errorf("event %d: E %q does not close open B %q on row %d", i, e.Name, top, e.TID)
+			}
+			open[e.TID] = stack[:len(stack)-1]
+		case "i":
+			if e.Scope != "t" {
+				return fmt.Errorf("event %d (%s): instant without thread scope", i, e.Name)
+			}
+			seen[e.Name]++
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Phase)
+		}
+	}
+	for tid, stack := range open {
+		if len(stack) > 0 {
+			return fmt.Errorf("row %d: %d unclosed B events (first %q)", tid, len(stack), stack[0])
+		}
+	}
+
+	var missing []string
+	for _, stage := range required {
+		if seen[stage] == 0 {
+			missing = append(missing, stage)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("required lifecycle stages absent: %v", missing)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cmpsched/internal/dag"
+	"cmpsched/internal/obs"
 )
 
 // StealPolicy selects how an idle LocalityWS core picks its steal victim.
@@ -62,6 +63,7 @@ type LocalityWS struct {
 	steals     int64
 	nearSteals int64
 	farSteals  int64
+	tr         *obs.Tracer // steal-event sink; nil when tracing is off
 }
 
 // NewLocalityWS returns a Work Stealing scheduler with the given steal
@@ -166,6 +168,7 @@ func (w *LocalityWS) stealNearest(core int) (dag.TaskID, bool) {
 	for _, v := range w.victims[core] {
 		if id, ok := w.deques[v].popBottom(); ok {
 			w.steals++
+			w.tr.Steal(int32(id), int32(core), int32(v))
 			if w.m.SliceOf(v) == home {
 				w.nearSteals++
 			} else {
@@ -199,6 +202,7 @@ func (w *LocalityWS) stealOldest(core int) (dag.TaskID, bool) {
 	}
 	id, _ := w.deques[victim].popBottom()
 	w.steals++
+	w.tr.Steal(int32(id), int32(core), int32(victim))
 	return id, true
 }
 

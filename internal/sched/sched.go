@@ -28,6 +28,7 @@ import (
 
 	"cmpsched/internal/dag"
 	"cmpsched/internal/minheap"
+	"cmpsched/internal/obs"
 )
 
 // Scheduler decides which ready task each idle core runs next.
@@ -205,6 +206,7 @@ type WS struct {
 	cores  int
 	steals int64
 	local  int64
+	tr     *obs.Tracer // steal-event sink; nil when tracing is off
 }
 
 // NewWS returns a Work Stealing scheduler.
@@ -263,6 +265,7 @@ func (w *WS) Next(core int) (dag.TaskID, bool) {
 		victim := (core + i) % w.cores
 		if id, ok := w.deques[victim].popBottom(); ok {
 			w.steals++
+			w.tr.Steal(int32(id), int32(core), int32(victim))
 			return id, true
 		}
 	}

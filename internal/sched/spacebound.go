@@ -3,6 +3,7 @@ package sched
 import (
 	"cmpsched/internal/dag"
 	"cmpsched/internal/minheap"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/profile"
 )
 
@@ -49,6 +50,7 @@ type SpaceBounded struct {
 	pinnedSlice int64
 	pinnedGlob  int64
 	migrations  int64
+	tr          *obs.Tracer // pin/migrate-event sink; nil when tracing is off
 }
 
 // NewSpaceBounded returns a space-bounded scheduler.
@@ -136,12 +138,15 @@ func (s *SpaceBounded) MakeReady(core int, tasks []dag.TaskID) {
 		case w >= 0 && w <= s.m.L1Bytes:
 			s.coreQ[home].Push(item)
 			s.pinnedL1++
+			s.tr.Pin(int32(id), int32(home), obs.PinL1)
 		case w >= 0 && w <= s.m.L2SliceBytes:
 			s.sliceQ[s.m.SliceOf(home)].Push(item)
 			s.pinnedSlice++
+			s.tr.Pin(int32(id), int32(home), obs.PinSlice)
 		default:
 			s.globalQ.Push(item)
 			s.pinnedGlob++
+			s.tr.Pin(int32(id), int32(home), obs.PinGlobal)
 		}
 	}
 }
@@ -155,14 +160,14 @@ func (s *SpaceBounded) Next(core int) (dag.TaskID, bool) {
 		return dag.None, false
 	}
 	if s.coreQ[core].Len() > 0 {
-		return s.take(&s.coreQ[core], false)
+		return s.take(&s.coreQ[core], core, false)
 	}
 	slice := s.m.SliceOf(core)
 	if s.sliceQ[slice].Len() > 0 {
-		return s.take(&s.sliceQ[slice], false)
+		return s.take(&s.sliceQ[slice], core, false)
 	}
 	if s.globalQ.Len() > 0 {
-		return s.take(&s.globalQ, false)
+		return s.take(&s.globalQ, core, false)
 	}
 	// Overflow: other core pools within the own slice, scanning forward
 	// from the idle core.
@@ -171,7 +176,7 @@ func (s *SpaceBounded) Next(core int) (dag.TaskID, bool) {
 	for i := 1; i < len(mates); i++ {
 		c := mates[(pos+i)%len(mates)]
 		if s.coreQ[c].Len() > 0 {
-			return s.take(&s.coreQ[c], true)
+			return s.take(&s.coreQ[c], core, true)
 		}
 	}
 	// Overflow: other slices by increasing slice distance — their slice
@@ -179,24 +184,26 @@ func (s *SpaceBounded) Next(core int) (dag.TaskID, bool) {
 	for dist := 1; dist < s.m.Slices; dist++ {
 		v := (slice + dist) % s.m.Slices
 		if s.sliceQ[v].Len() > 0 {
-			return s.take(&s.sliceQ[v], true)
+			return s.take(&s.sliceQ[v], core, true)
 		}
 		for _, c := range s.sliceCores[v] {
 			if s.coreQ[c].Len() > 0 {
-				return s.take(&s.coreQ[c], true)
+				return s.take(&s.coreQ[c], core, true)
 			}
 		}
 	}
 	return dag.None, false
 }
 
-// take pops the sequentially earliest task of a pool, counting the
-// assignment (and the migration, when the pool is not the core's own).
-func (s *SpaceBounded) take(q *minheap.Heap[seqItem], migrated bool) (dag.TaskID, bool) {
+// take pops the sequentially earliest task of a pool for the given core,
+// counting the assignment (and the migration, when the pool is not the
+// core's own).
+func (s *SpaceBounded) take(q *minheap.Heap[seqItem], core int, migrated bool) (dag.TaskID, bool) {
 	item := q.Pop()
 	s.assigned++
 	if migrated {
 		s.migrations++
+		s.tr.Migrate(int32(item.id), int32(core))
 	}
 	return item.id, true
 }

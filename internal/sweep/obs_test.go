@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/config"
+	"cmpsched/internal/obs"
+)
+
+// TestEngineMetricsDeterministicAcrossWorkerCounts pins the determinism of
+// the sweep engine's published metrics: the folded totals come out identical
+// whether the jobs ran serially or on a worker pool, because every job's
+// contribution is deterministic and counter folding is order-independent.
+func TestEngineMetricsDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	snapshot := func(workers int) []obs.Sample {
+		reg := obs.NewRegistry()
+		if _, err := NewEngine(EngineOptions{Workers: workers, Metrics: reg}).Run(jobs); err != nil {
+			t.Fatalf("run with %d workers: %v", workers, err)
+		}
+		return reg.Snapshot()
+	}
+	serial, parallel := snapshot(1), snapshot(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("metrics differ across worker counts:\nserial   %v\nparallel %v", serial, parallel)
+	}
+	want := map[string]bool{
+		"sweep.jobs": true, "sweep.jobs_cached": true, "sweep.sim_cycles": true,
+		"sweep.cache.l1_hits": true, "sweep.cache.l2_misses": true, "sweep.mem_fetches": true,
+	}
+	var jobsTotal int64
+	for _, s := range serial {
+		delete(want, s.Name)
+		if s.Name == "sweep.jobs" {
+			jobsTotal = s.Value
+		}
+	}
+	if len(want) > 0 {
+		t.Fatalf("snapshot missing metrics %v (got %v)", want, serial)
+	}
+	if jobsTotal != int64(len(jobs)) {
+		t.Fatalf("sweep.jobs = %d, want %d", jobsTotal, len(jobs))
+	}
+}
+
+// TestEngineMetricsCountCacheHits checks the cached-job counter against the
+// memory cache: the second identical sweep is served entirely from cache.
+func TestEngineMetricsCountCacheHits(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	reg := obs.NewRegistry()
+	e := NewEngine(EngineOptions{Workers: 1, Cache: NewMemoryCache(), Metrics: reg})
+	if _, err := e.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		got[s.Name] = s.Value
+	}
+	if got["sweep.jobs"] != int64(2*len(jobs)) || got["sweep.jobs_cached"] != int64(len(jobs)) {
+		t.Fatalf("jobs=%d cached=%d, want %d/%d", got["sweep.jobs"], got["sweep.jobs_cached"], 2*len(jobs), len(jobs))
+	}
+}
+
+// TestWithOptionsKeyUsesSemanticFingerprint pins that attaching
+// instrumentation sinks to a job's options does not move its cache key:
+// only the semantic fields are folded in.
+func TestWithOptionsKeyUsesSemanticFingerprint(t *testing.T) {
+	cfg := config.MustDefault(8).Scaled(config.DefaultScale)
+	plain := cmpsim.Options{MaxCycles: 100, RecordTaskStats: true}
+	observed := plain
+	observed.Tracer = obs.NewTracer()
+	observed.Metrics = obs.NewRegistry()
+
+	a := NewJob("mergesort", "{Elements:1024}", "pdf", cfg, nil).WithOptions(plain)
+	b := NewJob("mergesort", "{Elements:1024}", "pdf", cfg, nil).WithOptions(observed)
+	if a.Key.Hash() != b.Key.Hash() {
+		t.Fatalf("instrumentation sinks moved the cache key:\n%s\nvs\n%s", a.Key.Options, b.Key.Options)
+	}
+	if !strings.Contains(a.Key.Options, "{MaxCycles:100 RecordTaskStats:true ValidateDAG:false}") {
+		t.Fatalf("options fingerprint = %q", a.Key.Options)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"cmpsched/internal/cmpsim"
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
+	"cmpsched/internal/obs"
 	"cmpsched/internal/sched"
 )
 
@@ -131,10 +132,15 @@ func (j Job) WithDerive(tag string, fn DeriveFunc) Job {
 	return j
 }
 
-// WithOptions attaches simulator options, folding them into the key.
+// WithOptions attaches simulator options, folding their semantic fingerprint
+// into the key.  Options.Fingerprint covers exactly the fields that can
+// change simulation results; instrumentation sinks (Tracer, Metrics) are
+// excluded, so observed and unobserved runs of the same job share one cache
+// entry — and the fingerprint stays free of pointer values that would break
+// key determinism.
 func (j Job) WithOptions(opts cmpsim.Options) Job {
 	j.Options = &opts
-	j.Key.Options += fmt.Sprintf("|opts=%+v", opts)
+	j.Key.Options += "|opts=" + opts.Fingerprint()
 	return j
 }
 
@@ -158,6 +164,7 @@ type Result struct {
 type Engine struct {
 	workers int
 	cache   Cache
+	em      engineMetrics
 }
 
 // EngineOptions configure an Engine.
@@ -167,6 +174,54 @@ type EngineOptions struct {
 	Workers int
 	// Cache, when non-nil, is consulted before each run and updated after.
 	Cache Cache
+	// Metrics, when non-nil, receives per-sweep aggregates (job counts,
+	// cache hit counts, simulated cycles, cache statistics) as the stream
+	// runs.  Workers publish into padded per-worker shards, so concurrent
+	// jobs never contend — and the folded totals are independent of worker
+	// count and completion order, keeping the published view deterministic.
+	Metrics *obs.Registry
+}
+
+// engineMetrics holds the engine's pre-resolved sharded-counter handles, one
+// shard per worker.  With a nil registry every handle is nil and each Add is
+// a no-op, so the disabled state costs nothing per job.
+type engineMetrics struct {
+	jobs, cached                       *obs.ShardedCounter
+	simCycles, simTasks                *obs.ShardedCounter
+	l1Hits, l1Misses, l2Hits, l2Misses *obs.ShardedCounter
+	memFetches                         *obs.ShardedCounter
+}
+
+func newEngineMetrics(reg *obs.Registry, shards int) engineMetrics {
+	return engineMetrics{
+		jobs:       reg.ShardedCounter("sweep.jobs", shards),
+		cached:     reg.ShardedCounter("sweep.jobs_cached", shards),
+		simCycles:  reg.ShardedCounter("sweep.sim_cycles", shards),
+		simTasks:   reg.ShardedCounter("sweep.sim_tasks", shards),
+		l1Hits:     reg.ShardedCounter("sweep.cache.l1_hits", shards),
+		l1Misses:   reg.ShardedCounter("sweep.cache.l1_misses", shards),
+		l2Hits:     reg.ShardedCounter("sweep.cache.l2_hits", shards),
+		l2Misses:   reg.ShardedCounter("sweep.cache.l2_misses", shards),
+		memFetches: reg.ShardedCounter("sweep.mem_fetches", shards),
+	}
+}
+
+// publish folds one finished job into the worker's shards.
+func (em *engineMetrics) publish(worker int, r Result) {
+	em.jobs.Add(worker, 1)
+	if r.Cached {
+		em.cached.Add(worker, 1)
+	}
+	if r.Sim == nil {
+		return
+	}
+	em.simCycles.Add(worker, r.Sim.Cycles)
+	em.simTasks.Add(worker, int64(r.Sim.TasksExecuted))
+	em.l1Hits.Add(worker, r.Sim.L1.Hits)
+	em.l1Misses.Add(worker, r.Sim.L1.Misses)
+	em.l2Hits.Add(worker, r.Sim.L2.Hits)
+	em.l2Misses.Add(worker, r.Sim.L2.Misses)
+	em.memFetches.Add(worker, r.Sim.Mem.Fetches)
 }
 
 // NewEngine constructs an engine.
@@ -175,7 +230,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	return &Engine{workers: w, cache: opts.Cache}
+	return &Engine{workers: w, cache: opts.Cache, em: newEngineMetrics(opts.Metrics, w)}
 }
 
 // Workers returns the engine's concurrency bound.
@@ -209,6 +264,7 @@ func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Re
 				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
 			}
 			results[i] = r
+			e.em.publish(0, r)
 			if onResult != nil {
 				onResult(i, r)
 			}
@@ -223,7 +279,7 @@ func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Re
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range indexes {
 				r, err := e.runJob(jobs[i])
@@ -234,13 +290,14 @@ func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Re
 					continue
 				}
 				results[i] = r
+				e.em.publish(worker, r)
 				if onResult != nil {
 					cbMu.Lock()
 					onResult(i, r)
 					cbMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range jobs {
