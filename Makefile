@@ -48,22 +48,27 @@ lint: fmt-check vet doc-check
 #   benchstat old.txt new.txt
 BENCH ?= BenchmarkSimulate
 BENCHTIME ?= 1s
+BENCH_NOTES ?=
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_simulator.json
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -notes '$(BENCH_NOTES)' -o BENCH_simulator.json
 
 # The gating form: rerun the suite into a scratch report and compare it with
 # cmd/benchgate against the committed BENCH_simulator.json baseline.  The
 # tolerance band: ns/op may grow at most TIME_TOLERANCE (fractional, default
-# +10%); allocs/op may not grow at all — allocation counts are deterministic,
-# so any increase is a real regression.  CI runs this step gating.
+# +10%); B/op at most BYTES_TOLERANCE (byte totals move with runtime
+# internals, but deterministically, so the band is tight); allocs/op may not
+# grow at all — allocation counts are deterministic, so any increase is a
+# real regression.  CI runs this step gating.
 TIME_TOLERANCE ?= 0.10
+BYTES_TOLERANCE ?= 0.10
 BENCH_CANDIDATE ?= /tmp/cmpsched_bench_candidate.json
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_CANDIDATE)
 	$(GO) run ./cmd/benchgate -baseline BENCH_simulator.json \
-		-candidate $(BENCH_CANDIDATE) -time-tolerance $(TIME_TOLERANCE)
+		-candidate $(BENCH_CANDIDATE) -time-tolerance $(TIME_TOLERANCE) \
+		-bytes-tolerance $(BYTES_TOLERANCE)
 
 # The full benchmark suite at quick scale: one iteration per benchmark so
 # the figure benchmarks, the sweep-engine serial/parallel/cached trio and

@@ -10,11 +10,13 @@
 //
 // Both inputs are benchjson reports (internal/benchfmt).  The policy: a
 // benchmark regresses when its ns/op grows more than the time tolerance
-// (default +10%), when its allocs/op increases AT ALL (allocation counts are
-// deterministic, so any increase is a real regression — this is the bar that
-// protects the simulator's zero-alloc steady state), or when it disappears
-// from the candidate run.  New candidate-only benchmarks are reported but do
-// not fail the gate.
+// (default +10%), when its B/op grows more than the bytes tolerance (default
+// +10% — byte totals track runtime internals like map growth, so they get a
+// band, but a tight one because they are not noisy), when its allocs/op
+// increases AT ALL (allocation counts are deterministic, so any increase is a
+// real regression — this is the bar that protects the simulator's zero-alloc
+// steady state), or when it disappears from the candidate run.  New
+// candidate-only benchmarks are reported but do not fail the gate.
 package main
 
 import (
@@ -28,9 +30,10 @@ import (
 
 func main() {
 	var (
-		baselinePath  = flag.String("baseline", "BENCH_simulator.json", "baseline benchjson report")
-		candidatePath = flag.String("candidate", "", "candidate benchjson report (required)")
-		timeTolerance = flag.Float64("time-tolerance", 0.10, "allowed fractional ns/op increase (0.10 = +10%)")
+		baselinePath   = flag.String("baseline", "BENCH_simulator.json", "baseline benchjson report")
+		candidatePath  = flag.String("candidate", "", "candidate benchjson report (required)")
+		timeTolerance  = flag.Float64("time-tolerance", 0.10, "allowed fractional ns/op increase (0.10 = +10%)")
+		bytesTolerance = flag.Float64("bytes-tolerance", 0.10, "allowed fractional B/op increase (0 disables the check)")
 	)
 	flag.Parse()
 	if *candidatePath == "" {
@@ -46,7 +49,8 @@ func main() {
 		fatal(err)
 	}
 
-	findings, regressions := benchfmt.Compare(baseline, candidate, benchfmt.Tolerance{Time: *timeTolerance})
+	tol := benchfmt.Tolerance{Time: *timeTolerance, Bytes: *bytesTolerance}
+	findings, regressions := benchfmt.Compare(baseline, candidate, tol)
 	for _, f := range findings {
 		status := "ok  "
 		if f.Regression {
@@ -54,13 +58,13 @@ func main() {
 		}
 		fmt.Printf("%s %-45s %s\n", status, f.Name, f.Detail)
 	}
+	policy := fmt.Sprintf("time +%.0f%%, bytes +%.0f%%, allocs +0", *timeTolerance*100, *bytesTolerance*100)
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d of %d benchmarks regressed beyond tolerance (time +%.0f%%, allocs +0)\n",
-			regressions, len(baseline.Benchmarks), *timeTolerance*100)
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d benchmarks regressed beyond tolerance (%s)\n",
+			regressions, len(baseline.Benchmarks), policy)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within tolerance (time +%.0f%%, allocs +0)\n",
-		len(baseline.Benchmarks), *timeTolerance*100)
+	fmt.Printf("benchgate: %d benchmarks within tolerance (%s)\n", len(baseline.Benchmarks), policy)
 }
 
 // load reads one benchjson report.

@@ -30,8 +30,9 @@ import (
 
 func main() {
 	var (
-		in  = flag.String("i", "", "input file with `go test -bench` output (empty = stdin)")
-		out = flag.String("o", "", "output JSON file (empty = stdout)")
+		in    = flag.String("i", "", "input file with `go test -bench` output (empty = stdin)")
+		out   = flag.String("o", "", "output JSON file (empty = stdout)")
+		notes = flag.String("notes", "", "free-form provenance note stored in the report (machine, baseline rationale)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
+	report.Notes = *notes
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

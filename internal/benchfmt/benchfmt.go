@@ -38,6 +38,9 @@ type Report struct {
 	Goarch string `json:"goarch,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
 	Pkg    string `json:"pkg,omitempty"`
+	// Notes carries free-form provenance for the run — what machine it was
+	// taken on, what baseline it replaced and why.  It is ignored by Compare.
+	Notes string `json:"notes,omitempty"`
 	// Benchmarks are the parsed results in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -107,6 +110,13 @@ type Tolerance struct {
 	// increase — the policy that protects the simulator's zero-alloc
 	// steady state.
 	AllocBand float64
+	// Bytes is the allowed fractional B/op increase (0.10 = +10%).  Unlike
+	// allocation counts, byte totals move with runtime internals (map growth
+	// thresholds, stack sizes), so they get a fractional band like time
+	// rather than the exact bar — but unlike time they are not noisy, so the
+	// band can be tight.  The zero value disables the check, matching the
+	// historical policy for baselines captured before byte gating.
+	Bytes float64
 }
 
 // Finding is one per-benchmark comparison outcome.
@@ -121,7 +131,8 @@ type Finding struct {
 
 // Compare checks every baseline benchmark against the candidate report.  A
 // benchmark regresses when its ns/op grows beyond tol.Time, its allocs/op
-// grows beyond tol.AllocBand, or it disappeared from the candidate.
+// grows beyond tol.AllocBand, its B/op grows beyond tol.Bytes (when set), or
+// it disappeared from the candidate.
 // Candidate-only benchmarks are reported as informational findings (new
 // benchmarks are not regressions).  Findings are sorted by name; the
 // returned count is the number of regressions.
@@ -180,6 +191,20 @@ func compareOne(base, cand Benchmark, tol Tolerance) Finding {
 		details = append(details, fmt.Sprintf("allocs %.0f -> %.0f", ba, ca))
 		if ca > ba+tol.AllocBand {
 			problems = append(problems, fmt.Sprintf("allocs/op %.0f -> %.0f (any increase fails)", ba, ca))
+		}
+	}
+	if bb, ok := base.Metrics["B/op"]; ok && tol.Bytes > 0 {
+		cb := cand.Metrics["B/op"]
+		ratio := 0.0
+		if bb > 0 {
+			ratio = cb/bb - 1
+		}
+		details = append(details, fmt.Sprintf("bytes %+.1f%%", ratio*100))
+		// The +0.5 slack keeps sub-byte rounding of tiny baselines from
+		// tripping the band.
+		if cb > bb*(1+tol.Bytes)+0.5 {
+			problems = append(problems, fmt.Sprintf("B/op %.0f -> %.0f (%+.1f%% > %+.1f%% band)",
+				bb, cb, ratio*100, tol.Bytes*100))
 		}
 	}
 	if len(problems) > 0 {

@@ -93,6 +93,47 @@ func TestCompareAnyAllocIncreaseFails(t *testing.T) {
 	}
 }
 
+// benchB builds an entry with a B/op metric for the bytes-band tests.
+func benchB(name string, ns, allocs, bytes float64) Benchmark {
+	b := bench(name, ns, allocs)
+	b.Metrics["B/op"] = bytes
+	return b
+}
+
+func TestCompareBytesBand(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{benchB("A", 1000, 50, 10000)}}
+
+	within := &Report{Benchmarks: []Benchmark{benchB("A", 1000, 50, 10900)}}
+	if findings, regressions := Compare(base, within, Tolerance{Time: 0.10, Bytes: 0.10}); regressions != 0 {
+		t.Fatalf("+9%% bytes flagged inside +10%% band: %+v", findings)
+	}
+
+	over := &Report{Benchmarks: []Benchmark{benchB("A", 1000, 50, 11200)}}
+	findings, regressions := Compare(base, over, Tolerance{Time: 0.10, Bytes: 0.10})
+	if regressions != 1 || !findings[0].Regression {
+		t.Fatalf("+12%% bytes not flagged: %+v", findings)
+	}
+	if !strings.Contains(findings[0].Detail, "B/op 10000 -> 11200") {
+		t.Fatalf("detail = %q", findings[0].Detail)
+	}
+
+	// Zero band disables the check entirely (historical baselines).
+	if findings, regressions := Compare(base, over, Tolerance{Time: 0.10}); regressions != 0 {
+		t.Fatalf("bytes check ran with zero band: %+v", findings)
+	}
+}
+
+func TestCompareBytesRoundingSlack(t *testing.T) {
+	// A small baseline whose band lands between integers must not trip on
+	// rounding: 45 B/op with a 10% band allows 49.5, and the +0.5 slack lets
+	// the integer-reported 50 through.
+	base := &Report{Benchmarks: []Benchmark{benchB("A", 1000, 50, 45)}}
+	cand := &Report{Benchmarks: []Benchmark{benchB("A", 1000, 50, 50)}}
+	if findings, regressions := Compare(base, cand, Tolerance{Time: 0.10, Bytes: 0.10}); regressions != 0 {
+		t.Fatalf("sub-byte rounding tripped the band: %+v", findings)
+	}
+}
+
 func TestCompareMissingAndNewBenchmarks(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{bench("Gone", 1000, 10)}}
 	cand := &Report{Benchmarks: []Benchmark{bench("New", 1000, 10)}}

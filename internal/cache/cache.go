@@ -88,32 +88,47 @@ func (s *Stats) Add(other Stats) {
 	s.Writebacks += other.Writebacks
 }
 
-type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	// use is a per-cache monotonically increasing counter recording the
-	// most recent touch, used for LRU selection.
-	use uint64
-}
+// Per-way state bits held in Cache.state.
+const (
+	lineValid uint8 = 1 << iota
+	lineDirty
+)
 
 // Cache is a set-associative cache with true-LRU replacement and a
 // write-back, write-allocate policy.
 //
-// The ways of all sets live in one flat set-major array (set i occupies
-// ways[i*assoc : (i+1)*assoc]), and line/set arithmetic uses shifts and
-// masks whenever the line size and set count are powers of two — every
-// access otherwise pays two hardware integer divisions, which dominated the
-// simulator's profile.  Neither change affects classification: the modelled
-// geometry and LRU behaviour are identical.
+// Way metadata is stored structure-of-arrays in flat set-major slices (set i
+// occupies index range [i*assoc, (i+1)*assoc)): tags, LRU use counters and
+// packed valid/dirty bits live in separate arrays so the hit scan — the
+// single hottest loop in the simulator — streams only the 8-byte tags
+// instead of dragging padded per-way structs through the host cache.
+// Line/set arithmetic uses shifts and masks whenever the line size and set
+// count are powers of two — every access otherwise pays two hardware
+// integer divisions.  Neither layout nor arithmetic affects classification:
+// the modelled geometry and LRU behaviour are identical.
 type Cache struct {
-	cfg     Config
-	ways    []way
+	cfg Config
+	// tags[i] is the line base address held by flat way i (valid only when
+	// state[i]&lineValid is set; invalid ways may hold stale tags).
+	tags []uint64
+	// use is the per-way LRU timestamp: the cache clock at last touch.
+	use []uint64
+	// state packs the valid and dirty bits per way.
+	state   []uint8
 	assoc   int
 	numSets int
 	setMask uint64
 	clock   uint64
-	stats   Stats
+	// Per-access counters.  The access count itself is derived from the
+	// clock (which advances exactly once per Access) minus the clock value
+	// at the last stats reset, and Hits/Reads are derived in Stats()
+	// (Hits = Accesses-Misses, Reads = Accesses-Writes) — so a hit bumps
+	// nothing beyond the clock.
+	clockBase  uint64
+	misses     int64
+	writes     int64
+	evictions  int64
+	writebacks int64
 	// power2 records whether the set count is a power of two, enabling
 	// mask-based indexing.
 	power2 bool
@@ -122,6 +137,11 @@ type Cache struct {
 	linePow2  bool
 	lineShift uint
 	lineMask  uint64
+	// lastSlot is the flat way index (set*assoc + way) touched by the most
+	// recent Access: the hit way, or the filled victim on a miss.  Exposed
+	// via LastSlot so the hierarchy can key per-line bookkeeping off the
+	// slot a line occupies without an extra lookup.
+	lastSlot int
 }
 
 // AccessResult describes the outcome of a single cache access.
@@ -143,9 +163,15 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	n := cfg.Sets()
+	lines := n * cfg.Assoc
+	// tags and use share one backing array to keep per-cache construction
+	// cheap; the hot scans index them independently.
+	words := make([]uint64, 2*lines)
 	c := &Cache{
 		cfg:     cfg,
-		ways:    make([]way, n*cfg.Assoc),
+		tags:    words[:lines:lines],
+		use:     words[lines:],
+		state:   make([]uint8, lines),
 		assoc:   cfg.Assoc,
 		numSets: n,
 		power2:  n&(n-1) == 0,
@@ -176,10 +202,24 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a copy of the accumulated statistics.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	accesses := int64(c.clock - c.clockBase)
+	return Stats{
+		Accesses:   accesses,
+		Hits:       accesses - c.misses,
+		Misses:     c.misses,
+		Reads:      accesses - c.writes,
+		Writes:     c.writes,
+		Evictions:  c.evictions,
+		Writebacks: c.writebacks,
+	}
+}
 
 // ResetStats clears the statistics without touching cache contents.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.clockBase = c.clock
+	c.misses, c.writes, c.evictions, c.writebacks = 0, 0, 0, 0
+}
 
 // lineAddr returns the base address of the line containing addr.
 func (c *Cache) lineAddr(addr uint64) uint64 {
@@ -202,72 +242,87 @@ func (c *Cache) setIndex(lineAddr uint64) int {
 	return int(idx % uint64(c.numSets))
 }
 
-// set returns the ways of the set holding lineAddr.
-func (c *Cache) set(lineAddr uint64) []way {
-	si := c.setIndex(lineAddr)
-	return c.ways[si*c.assoc : (si+1)*c.assoc]
+// setBase returns the flat index of the first way of the set holding
+// lineAddr.
+func (c *Cache) setBase(lineAddr uint64) int {
+	return c.setIndex(lineAddr) * c.assoc
 }
 
 // Access performs a read or write of addr, allocating on miss, and returns
 // the outcome.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	la := c.lineAddr(addr)
-	set := c.set(la)
+	base := c.setIndex(la) * c.assoc
 	c.clock++
-	c.stats.Accesses++
 	if write {
-		c.stats.Writes++
-	} else {
-		c.stats.Reads++
+		c.writes++
 	}
-	tag := la
-	// Hit path.
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].use = c.clock
+	tags := c.tags[base : base+c.assoc]
+	st := c.state[base : base+c.assoc : base+c.assoc]
+	// Hit scan: tag compare first — a stale tag on an invalid way is the
+	// only false positive, so the state byte is consulted only on a match.
+	for i := range tags {
+		if tags[i] == la && st[i]&lineValid != 0 {
+			c.use[base+i] = c.clock
 			if write {
-				set[i].dirty = true
+				st[i] |= lineDirty
 			}
-			c.stats.Hits++
+			c.lastSlot = base + i
 			return AccessResult{Hit: true}
 		}
 	}
-	// Miss: find an invalid way, otherwise evict LRU.
-	c.stats.Misses++
+	// Miss: fill the first invalid way, otherwise evict LRU (lowest use,
+	// ties to the lowest index) — one scan tracking both candidates.
+	c.misses++
+	use := c.use[base : base+c.assoc : base+c.assoc]
 	victim := -1
-	for i := range set {
-		if !set[i].valid {
+	lru := 0
+	lruUse := use[0]
+	for i := range st {
+		if st[i]&lineValid == 0 {
 			victim = i
 			break
+		}
+		if use[i] < lruUse {
+			lru, lruUse = i, use[i]
 		}
 	}
 	res := AccessResult{}
 	if victim == -1 {
-		victim = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].use < set[victim].use {
-				victim = i
-			}
-		}
+		victim = lru
 		res.Evicted = true
-		res.EvictedAddr = set[victim].tag
-		res.EvictedDirty = set[victim].dirty
-		c.stats.Evictions++
-		if set[victim].dirty {
-			c.stats.Writebacks++
+		res.EvictedAddr = tags[victim]
+		res.EvictedDirty = st[victim]&lineDirty != 0
+		c.evictions++
+		if res.EvictedDirty {
+			c.writebacks++
 		}
 	}
-	set[victim] = way{tag: tag, valid: true, dirty: write, use: c.clock}
+	tags[victim] = la
+	use[victim] = c.clock
+	if write {
+		st[victim] = lineValid | lineDirty
+	} else {
+		st[victim] = lineValid
+	}
+	c.lastSlot = base + victim
 	return res
 }
+
+// LastSlot returns the flat slot index (set*assoc + way) of the line touched
+// by the most recent Access: the way that hit, or the way filled on a miss.
+// Slot indices are stable identifiers for resident lines — a line stays in
+// its slot until evicted — so callers can maintain per-resident-line state in
+// a dense array of Config.Lines() entries.
+func (c *Cache) LastSlot() int { return c.lastSlot }
 
 // Contains reports whether the line holding addr is present, without
 // affecting LRU state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].tag == la {
+	base := c.setBase(la)
+	for i := 0; i < c.assoc; i++ {
+		if c.tags[base+i] == la && c.state[base+i]&lineValid != 0 {
 			return true
 		}
 	}
@@ -278,13 +333,14 @@ func (c *Cache) Contains(addr uint64) bool {
 // was present and dirty.
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	la := c.lineAddr(addr)
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].tag == la {
-			present = true
-			dirty = set[i].dirty
-			set[i] = way{}
-			return present, dirty
+	base := c.setBase(la)
+	for i := 0; i < c.assoc; i++ {
+		if c.tags[base+i] == la && c.state[base+i]&lineValid != 0 {
+			dirty = c.state[base+i]&lineDirty != 0
+			c.tags[base+i] = 0
+			c.use[base+i] = 0
+			c.state[base+i] = 0
+			return true, dirty
 		}
 	}
 	return false, false
@@ -293,11 +349,13 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 // Flush invalidates every line, returning the number of dirty lines that
 // would have been written back.
 func (c *Cache) Flush() (dirty int64) {
-	for i := range c.ways {
-		if c.ways[i].valid && c.ways[i].dirty {
+	for i := range c.state {
+		if c.state[i]&(lineValid|lineDirty) == lineValid|lineDirty {
 			dirty++
 		}
-		c.ways[i] = way{}
+		c.tags[i] = 0
+		c.use[i] = 0
+		c.state[i] = 0
 	}
 	return dirty
 }
@@ -305,8 +363,8 @@ func (c *Cache) Flush() (dirty int64) {
 // OccupiedLines returns the number of valid lines currently resident.
 func (c *Cache) OccupiedLines() int64 {
 	var n int64
-	for i := range c.ways {
-		if c.ways[i].valid {
+	for i := range c.state {
+		if c.state[i]&lineValid != 0 {
 			n++
 		}
 	}

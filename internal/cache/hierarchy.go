@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Level identifies where in the hierarchy an access was satisfied.
 type Level int
@@ -78,6 +81,19 @@ type Hierarchy struct {
 	sliceCfg Config
 	dir      map[uint64]uint64 // line -> bitmask of cores with an L1 copy
 	invs     int64
+
+	// holders[s][slot] is a bitmask of cores that MAY hold, in their L1, the
+	// line resident in slot `slot` of L2 slice s.  It is maintained as a
+	// superset of the true holder set (bits go stale when an L1 silently
+	// drops its copy), which is sound: inclusive-victim invalidation probes
+	// exactly the masked L1s instead of every L1 the slice serves, and
+	// probing a non-holder is a statistics-free no-op.  Inclusion (an L1
+	// line is always present in its backing slice) guarantees L1 dirty
+	// write-backs hit L2 and therefore never move lines between slots behind
+	// the mask's back; if a write-back ever misses, probeAll pins the slice
+	// back to the exhaustive probe so classification stays identical.
+	holders  [][]uint64
+	probeAll bool
 }
 
 // NewHierarchy builds the hierarchy.
@@ -110,6 +126,10 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	}
 	h.sliceOf = make([]int, cfg.Cores)
 	h.sliceL1s = make([][]*Cache, slices)
+	h.holders = make([][]uint64, slices)
+	for i := range h.holders {
+		h.holders[i] = make([]uint64, h.sliceCfg.Lines())
+	}
 	for c := 0; c < cfg.Cores; c++ {
 		s := cfg.Topology.SliceOf(c, cfg.Cores)
 		h.sliceOf[c] = s
@@ -169,22 +189,37 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 	}
 
 	// An L1 dirty victim is written back into the core's L2 slice (on-chip
-	// traffic only).
+	// traffic only).  Inclusion means the victim is still resident in L2, so
+	// this hits; a miss would fill a slot without holder bookkeeping, so it
+	// drops the slice group back to exhaustive victim probing.
 	if r1.Evicted && r1.EvictedDirty {
 		wb := l2.Access(r1.EvictedAddr, true)
+		if !wb.Hit {
+			h.probeAll = true
+		}
 		if wb.Evicted && wb.EvictedDirty {
 			out.OffChipTransfers++
 		}
 	}
 
 	r2 := l2.Access(addr, write)
+	slot := l2.LastSlot()
 	out.L2Evicted = r2.Evicted
 	if r2.Evicted {
 		// Inclusive L2 slices: drop any stale L1 copies of the victim line
 		// held by the cores this slice serves, so the model never holds
-		// lines absent from their backing slice.
-		for _, l1c := range h.sliceL1s[slice] {
-			l1c.Invalidate(r2.EvictedAddr)
+		// lines absent from their backing slice.  Only the recorded holders
+		// need probing (Invalidate elsewhere is a no-op with no stats), which
+		// turns the per-eviction cost from cores-per-slice probes into a
+		// popcount-sized loop.
+		if h.probeAll {
+			for _, l1c := range h.sliceL1s[slice] {
+				l1c.Invalidate(r2.EvictedAddr)
+			}
+		} else {
+			for m := h.holders[slice][slot]; m != 0; m &= m - 1 {
+				h.l1s[bits.TrailingZeros64(m)].Invalidate(r2.EvictedAddr)
+			}
 		}
 		if h.dir != nil {
 			h.dropDir(r2.EvictedAddr, slice)
@@ -194,9 +229,11 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool) HierarchyAccess {
 		}
 	}
 	if r2.Hit {
+		h.holders[slice][slot] |= 1 << uint(core)
 		out.Level = LevelL2
 		return out
 	}
+	h.holders[slice][slot] = 1 << uint(core)
 	out.Level = LevelMemory
 	out.OffChipTransfers++
 	return out

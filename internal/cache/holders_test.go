@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// holderTestConfigs is a spread of hierarchy shapes for the masked-probe
+// equivalence property: small caches force heavy eviction traffic, several
+// topologies exercise multi-L1 slices, and WriteInvalidate adds the
+// directory's own L1 invalidations to the mix.
+func holderTestConfigs() []HierarchyConfig {
+	l1 := Config{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1}
+	l2 := Config{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 4, HitLatency: 10}
+	return []HierarchyConfig{
+		{Cores: 4, L1: l1, L2: l2},
+		{Cores: 8, L1: l1, L2: l2},
+		{Cores: 8, L1: l1, L2: l2, WriteInvalidate: true},
+		{Cores: 8, L1: l1, L2: l2, Topology: Topology{Kind: TopologyPrivate}},
+		{Cores: 8, L1: l1, L2: l2, Topology: Topology{Kind: TopologyClustered, ClusterSize: 4}},
+	}
+}
+
+// TestMaskedInvalidationMatchesExhaustiveProbe drives a masked hierarchy and
+// a probe-everything hierarchy through an identical randomized access stream
+// and requires identical classification at every step and identical final
+// statistics.  This is the bit-identity claim behind the holder-mask
+// optimisation: probing only recorded holders must be indistinguishable from
+// probing every L1 the slice serves.
+func TestMaskedInvalidationMatchesExhaustiveProbe(t *testing.T) {
+	for ci, cfg := range holderTestConfigs() {
+		masked, err := NewHierarchy(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		exhaustive, err := NewHierarchy(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		// Forcing the fallback flag makes every inclusive-victim probe walk
+		// all of the slice's L1s — the pre-optimisation behaviour.
+		exhaustive.probeAll = true
+
+		rng := rand.New(rand.NewSource(int64(100 + ci)))
+		// A footprint a few times the L2 keeps hits, misses and evictions
+		// all common; a handful of hot lines maximises cross-core sharing.
+		lines := int64(4 * cfg.L2.SizeBytes / cfg.L2.LineBytes)
+		for step := 0; step < 200000; step++ {
+			core := rng.Intn(cfg.Cores)
+			var line int64
+			if rng.Intn(4) == 0 {
+				line = int64(rng.Intn(16)) // hot shared lines
+			} else {
+				line = rng.Int63n(lines)
+			}
+			addr := uint64(line)*uint64(cfg.L2.LineBytes) + uint64(rng.Intn(int(cfg.L2.LineBytes)))
+			write := rng.Intn(3) == 0
+			got := masked.Access(core, addr, write)
+			want := exhaustive.Access(core, addr, write)
+			if got != want {
+				t.Fatalf("config %d step %d (core %d addr %#x write %v): masked %+v, exhaustive %+v",
+					ci, step, core, addr, write, got, want)
+			}
+		}
+		if g, w := masked.L1Stats(), exhaustive.L1Stats(); g != w {
+			t.Fatalf("config %d: L1 stats diverged: %+v vs %+v", ci, g, w)
+		}
+		if g, w := masked.L2Stats(), exhaustive.L2Stats(); g != w {
+			t.Fatalf("config %d: L2 stats diverged: %+v vs %+v", ci, g, w)
+		}
+		if g, w := masked.Invalidations(), exhaustive.Invalidations(); g != w {
+			t.Fatalf("config %d: coherence invalidations diverged: %d vs %d", ci, g, w)
+		}
+		// The fallback must never have tripped on the masked side: inclusion
+		// guarantees L1 write-backs hit L2.
+		if masked.probeAll {
+			t.Fatalf("config %d: masked hierarchy fell back to exhaustive probing", ci)
+		}
+	}
+}
+
+// TestLastSlotIdentifiesResidentLine pins the Cache.LastSlot contract the
+// holder masks are built on: after any Access, the slot holds the accessed
+// line, and the slot is stable across re-touches until eviction.
+func TestLastSlotIdentifiesResidentLine(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1 << 10, LineBytes: 64, Assoc: 2, HitLatency: 1})
+	rng := rand.New(rand.NewSource(7))
+	slotOf := make(map[uint64]int)
+	for step := 0; step < 20000; step++ {
+		addr := uint64(rng.Intn(64)) * 64
+		r := c.Access(addr, rng.Intn(2) == 0)
+		slot := c.LastSlot()
+		if slot < 0 || slot >= int(c.Config().Lines()) {
+			t.Fatalf("step %d: slot %d out of range", step, slot)
+		}
+		if r.Hit {
+			if want, ok := slotOf[addr]; ok && want != slot {
+				t.Fatalf("step %d: line %#x moved slots %d -> %d without eviction", step, addr, want, slot)
+			}
+		}
+		if r.Evicted {
+			delete(slotOf, r.EvictedAddr)
+		}
+		slotOf[addr] = slot
+	}
+}

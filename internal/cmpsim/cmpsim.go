@@ -23,8 +23,11 @@
 // and pops; a same-core lookahead keeps executing a core's references inline
 // while their completion times precede every other core's pending event (so
 // L1-hit bursts never touch the heap); and reference streams are drained in
-// refs.BlockSize batches through refs.ReadBlock, amortising the generators'
-// dynamic dispatch.  All three are pure reorderings of identical work: event
+// refs.BlockSize batches through refs.ReadBlock — or, for recorded streams
+// (refs.Sliced, the product of the trace-interning store), replayed straight
+// out of their immutable arena with no copying at all — amortising the
+// generators' dynamic dispatch.  All three are pure reorderings of identical
+// work: event
 // processing order, and therefore every cycle count and cache statistic, is
 // bit-identical to the straightforward heap-per-event engine (pinned by
 // TestGoldenEngineEquivalence).
@@ -232,8 +235,10 @@ func (e event) Less(other event) bool {
 
 // coreState tracks what a core is doing.  The task pointer and generator
 // are cached at assignment so the per-reference loop never re-resolves them
-// through the DAG, and each core drains its generator through a private
-// block buffer (refilled by refs.ReadBlock) so generator dispatch is paid
+// through the DAG, and each core drains its generator through a block view:
+// for recorded streams (refs.Sliced) the view aliases the stream's immutable
+// arena directly — no copying at all — and for everything else it is the
+// core's private buffer refilled by refs.ReadBlock, paying generator dispatch
 // once per refs.BlockSize references instead of once per reference.
 type coreState struct {
 	busy      bool
@@ -245,8 +250,9 @@ type coreState struct {
 	l2Misses  int64
 	refs      int64
 
-	buf            []refs.Ref // block buffer (slice of the run's arena)
+	buf            []refs.Ref // current block view (own, or a Sliced arena)
 	bufPos, bufLen int
+	own            []refs.Ref // private block buffer (slice of the run's arena)
 }
 
 // RunWithOptions simulates d on cfg under scheduler s.
@@ -325,11 +331,11 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		taskStats = make([]TaskStat, n)
 	}
 
-	// One arena backs every core's block buffer; slicing it keeps the
-	// steady-state loop free of allocations.
+	// One arena backs every core's private block buffer; slicing it keeps
+	// the steady-state loop free of allocations.
 	bufArena := make([]refs.Ref, p*refs.BlockSize)
 	for c := range cores {
-		cores[c].buf = bufArena[c*refs.BlockSize : (c+1)*refs.BlockSize]
+		cores[c].own = bufArena[c*refs.BlockSize : (c+1)*refs.BlockSize]
 	}
 
 	events := minheap.New[event](p)
@@ -367,8 +373,8 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 				t.Refs.Reset()
 			}
 			st := &cores[c]
-			buf := st.buf
-			*st = coreState{busy: true, task: t, gen: t.Refs, start: now, buf: buf}
+			own := st.own
+			*st = coreState{busy: true, task: t, gen: t.Refs, start: now, own: own}
 			events.Push(event{time: now, core: int32(c)})
 		}
 		if prefer >= 0 && prefer < p {
@@ -432,9 +438,18 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 
 			if !st.finishing {
 				if st.bufPos == st.bufLen && st.gen != nil {
-					// Refill the block buffer.  A zero return means the
-					// stream is exhausted; a short non-zero block does not.
-					st.bufLen = refs.ReadBlock(st.gen, st.buf)
+					// Refill the block view.  Recorded streams hand over
+					// their whole immutable arena in one shot (zero copies);
+					// other generators are drained block-wise into the
+					// core's own buffer.  An empty view means the stream is
+					// exhausted; a short non-empty block does not.
+					if sl, ok := st.gen.(refs.Sliced); ok {
+						st.buf = sl.NextSlice()
+						st.bufLen = len(st.buf)
+					} else {
+						st.bufLen = refs.ReadBlock(st.gen, st.own)
+						st.buf = st.own
+					}
 					st.bufPos = 0
 				}
 				if st.bufPos < st.bufLen {
@@ -509,8 +524,7 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 					ready = append(ready, succ)
 				}
 			}
-			buf := st.buf
-			*st = coreState{buf: buf}
+			*st = coreState{own: st.own}
 			if len(ready) > 0 {
 				s.MakeReady(c, ready)
 			}

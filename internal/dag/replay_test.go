@@ -1,0 +1,137 @@
+package dag
+
+import (
+	"testing"
+
+	"cmpsched/internal/refs"
+)
+
+// buildReplayFixture makes a small fork-join DAG with a mix of ref-bearing and
+// compute-only tasks, including two tasks with byte-identical streams.
+func buildReplayFixture(t *testing.T) *DAG {
+	t.Helper()
+	d := New("diamond")
+	mk := func() refs.Gen { return refs.NewScan(1<<20, 640, 64, 2) }
+	root := d.AddComputeTask("root", 100)
+	a := d.AddTask("a", mk())
+	b := d.AddTask("b", mk()) // identical stream to a
+	c := d.AddTask("c", &refs.Strided{Base: 1 << 21, StrideBytes: 128, Count: 30, InstrsPerRef: 1})
+	join := d.AddComputeTask("join", 50)
+	d.Fork(root.ID, a.ID, b.ID, c.ID)
+	d.Join(join.ID, a.ID, b.ID, c.ID)
+	d.RecordMetric("m", 7)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return d
+}
+
+// TestSnapshotInstantiateEquivalence pins that instances replicate the
+// template exactly: structure, totals, metrics, and every task's reference
+// stream.
+func TestSnapshotInstantiateEquivalence(t *testing.T) {
+	src := buildReplayFixture(t)
+	wantStreams := make([][]refs.Ref, src.NumTasks())
+	for i, task := range src.Tasks() {
+		if task.Refs != nil {
+			wantStreams[i] = refs.Collect(task.Refs)
+		}
+	}
+
+	snap := Record(src, nil)
+	if snap.NumTasks() != src.NumTasks() {
+		t.Fatalf("snapshot has %d tasks, want %d", snap.NumTasks(), src.NumTasks())
+	}
+	inst := snap.Instantiate()
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("instance invalid: %v", err)
+	}
+	if inst.Name != src.Name || inst.NumTasks() != src.NumTasks() {
+		t.Fatalf("instance shape (%q, %d), want (%q, %d)", inst.Name, inst.NumTasks(), src.Name, src.NumTasks())
+	}
+	if inst.TotalInstrs() != src.TotalInstrs() || inst.TotalRefs() != src.TotalRefs() {
+		t.Fatalf("instance totals differ from source")
+	}
+	if inst.Metrics()["m"] != 7 {
+		t.Fatalf("instance lost metrics: %v", inst.Metrics())
+	}
+	for i, task := range inst.Tasks() {
+		want := src.Task(TaskID(i))
+		if task.Name != want.Name || task.Instrs != want.Instrs ||
+			len(task.Preds) != len(want.Preds) || len(task.Succs) != len(want.Succs) {
+			t.Fatalf("task %d structure differs: %+v vs %+v", i, task, want)
+		}
+		if (task.Refs == nil) != (want.Refs == nil) {
+			t.Fatalf("task %d ref-stream presence differs", i)
+		}
+		if task.Refs == nil {
+			continue
+		}
+		got := refs.Collect(task.Refs)
+		if len(got) != len(wantStreams[i]) {
+			t.Fatalf("task %d drained %d refs, want %d", i, len(got), len(wantStreams[i]))
+		}
+		for j := range got {
+			if got[j] != wantStreams[i][j] {
+				t.Fatalf("task %d ref %d = %+v, want %+v", i, j, got[j], wantStreams[i][j])
+			}
+		}
+	}
+}
+
+// TestSnapshotInstancesAreIndependent pins that sibling instances never share
+// cursor state: draining one must not move the other, and identical sibling
+// tasks share one interned arena.
+func TestSnapshotInstancesAreIndependent(t *testing.T) {
+	snap := Record(buildReplayFixture(t), nil)
+	i1, i2 := snap.Instantiate(), snap.Instantiate()
+
+	a1 := i1.Task(1).Refs
+	a2 := i2.Task(1).Refs
+	refs.Collect(a1) // fully drains and Resets via Collect
+	a1.Reset()
+	for k := 0; k < 3; k++ {
+		a1.Next()
+	}
+	got := refs.Collect(a2)
+	if int64(len(got)) != a2.Len() {
+		t.Fatalf("sibling cursor was disturbed: drained %d of %d", len(got), a2.Len())
+	}
+
+	// Tasks "a" and "b" emit identical streams; the snapshot's store interns
+	// them into one arena.
+	st := snap.Store().Stats()
+	if st.Unique >= st.Interned {
+		t.Fatalf("identical sibling tasks were not interned: %+v", st)
+	}
+	ra, ok1 := i1.Task(1).Refs.(*refs.Recorded)
+	rb, ok2 := i1.Task(2).Refs.(*refs.Recorded)
+	if !ok1 || !ok2 {
+		t.Fatalf("instance tasks are not Recorded streams")
+	}
+	if ra.Fingerprint() != rb.Fingerprint() {
+		t.Fatalf("identical tasks fingerprint differently")
+	}
+	ra.Reset()
+	rb.Reset()
+	sa, sb := ra.NextSlice(), rb.NextSlice()
+	if len(sa) == 0 || &sa[0] != &sb[0] {
+		t.Fatalf("identical tasks do not share an arena")
+	}
+}
+
+// TestRecordIntoSharedStore pins cross-DAG sharing: recording two builds of
+// the same DAG into one store must not grow the arena twice.
+func TestRecordIntoSharedStore(t *testing.T) {
+	store := refs.NewTraceStore()
+	Record(buildReplayFixture(t), store)
+	after1 := store.Stats().ArenaBytes
+	Record(buildReplayFixture(t), store)
+	after2 := store.Stats().ArenaBytes
+	if after1 == 0 {
+		t.Fatalf("first recording interned nothing")
+	}
+	if after2 != after1 {
+		t.Fatalf("second recording grew the arena: %d -> %d bytes", after1, after2)
+	}
+}

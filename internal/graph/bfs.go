@@ -30,7 +30,7 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 	tree := taskgroup.New("bfs")
 
 	// Initialisation: write the distance vector and the first frontier.
-	init := newTrace(c.LineBytes)
+	init := newTrace(c)
 	init.span(distAddr(0), g.N*vertexEntryBytes, true, 1)
 	init.touch(frontAddr(0, 0), true, c.InstrsPerVertex)
 	initTask := d.AddTask("bfs-init", init.gen(c.SpawnInstrs))
@@ -40,6 +40,10 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 
 	prevBarrier := initTask.ID
 	d.RecordMetric("bfs.levels", int64(len(levels)))
+	// One trace serves every explore task: the interning store copies each
+	// finalised stream into its arena, so the accumulation buffer is reused
+	// across chunks.
+	tr := newTrace(c)
 	for level, frontier := range levels {
 		d.RecordMetric(fmt.Sprintf("bfs.frontier.level_%02d.vertices", level), int64(len(frontier)))
 		parity := level % 2
@@ -52,7 +56,7 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 		})
 		chunkIDs := make([]dag.TaskID, 0, len(chunks))
 		for _, cr := range chunks {
-			tr := newTrace(c.LineBytes)
+			tr.reset()
 			for i := cr[0]; i < cr[1]; i++ {
 				u := int64(frontier[i])
 				tr.touch(frontAddr(parity, i), false, c.InstrsPerVertex)
@@ -92,7 +96,7 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 		prevBarrier = barrier.ID
 	}
 
-	return finish(d, tree, "bfs")
+	return finish(d, tree, "bfs", c)
 }
 
 // bfsLevels runs the breadth-first search on the host.  It returns the
@@ -135,8 +139,16 @@ func checkSource(g *CSR, source int64) error {
 	return nil
 }
 
-// finish validates the DAG and finalises the group tree.
-func finish(d *dag.DAG, tree *taskgroup.Tree, kernel string) (*dag.DAG, *taskgroup.Tree, error) {
+// finish validates the DAG, records the build's trace-interning statistics
+// as DAG metrics (published under the "dag." prefix when a run is observed),
+// and finalises the group tree.
+func finish(d *dag.DAG, tree *taskgroup.Tree, kernel string, c Costs) (*dag.DAG, *taskgroup.Tree, error) {
+	if c.store != nil {
+		st := c.store.Stats()
+		d.RecordMetric("trace.interned", st.Interned)
+		d.RecordMetric("trace.unique", st.Unique)
+		d.RecordMetric("trace.arena_bytes", st.ArenaBytes)
+	}
 	if err := d.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("graph: %s: %w", kernel, err)
 	}

@@ -157,7 +157,7 @@ func TestNewRejectsBadConfigs(t *testing.T) {
 }
 
 func TestTraceDedupesConsecutiveLines(t *testing.T) {
-	tr := newTrace(128)
+	tr := newTrace(Costs{}.withDefaults())
 	tr.touch(0, false, 5)
 	tr.touch(64, false, 7)  // same line: collapses, instrs accumulate
 	tr.touch(100, true, 1)  // same line again, upgrades to write
@@ -184,7 +184,7 @@ func TestTraceDedupesConsecutiveLines(t *testing.T) {
 }
 
 func TestTraceSpan(t *testing.T) {
-	tr := newTrace(128)
+	tr := newTrace(Costs{}.withDefaults())
 	tr.span(256, 300, true, 2) // lines 2, 3, 4
 	got := refs.Collect(tr.gen(0))
 	if len(got) != 3 || got[0].Addr != 256 || got[2].Addr != 512 {

@@ -27,7 +27,7 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 	d := dag.New(fmt.Sprintf("pagerank-%s", g.Name))
 	tree := taskgroup.New("pagerank")
 
-	init := newTrace(c.LineBytes)
+	init := newTrace(c)
 	init.span(rankAddr(0, 0), g.N*vertexEntryBytes, true, 1)
 	initTask := d.AddTask("pagerank-init", init.gen(c.SpawnInstrs))
 	initTask.Site = "graph/pagerank.go:init"
@@ -36,6 +36,10 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 
 	chunks := chunk(g.N, c.EdgesPerTask, func(v int64) int64 { return 1 + g.Degree(v) })
 	prevBarrier := initTask.ID
+	// Reused across gather tasks; the parity addressing makes iterations i and
+	// i+2 emit byte-identical chunk streams, which the interning store then
+	// collapses to one arena each.
+	tr := newTrace(c)
 	for iter := int64(0); iter < iterations; iter++ {
 		parity := int(iter) % 2
 		group := tree.AddChild(tree.Root, fmt.Sprintf("pagerank-iter%d", iter), "graph/pagerank.go:iter", 0, int(iter))
@@ -43,7 +47,7 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 
 		chunkIDs := make([]dag.TaskID, 0, len(chunks))
 		for _, cr := range chunks {
-			tr := newTrace(c.LineBytes)
+			tr.reset()
 			for u := cr[0]; u < cr[1]; u++ {
 				tr.touch(offsetAddr(u), false, c.InstrsPerVertex)
 				tr.touch(offsetAddr(u+1), false, 0)
@@ -77,5 +81,5 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 		prevBarrier = barrier.ID
 	}
 
-	return finish(d, tree, "pagerank")
+	return finish(d, tree, "pagerank", c)
 }

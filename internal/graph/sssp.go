@@ -49,7 +49,7 @@ func BellmanFord(g *CSR, source int64, seed uint64, maxWeight, maxRounds int64, 
 	d := dag.New(fmt.Sprintf("sssp-%s", g.Name))
 	tree := taskgroup.New("sssp")
 
-	init := newTrace(c.LineBytes)
+	init := newTrace(c)
 	init.span(distAddr(0), g.N*vertexEntryBytes, true, 1)
 	init.touch(frontAddr(0, 0), true, c.InstrsPerVertex)
 	initTask := d.AddTask("sssp-init", init.gen(c.SpawnInstrs))
@@ -58,6 +58,7 @@ func BellmanFord(g *CSR, source int64, seed uint64, maxWeight, maxRounds int64, 
 	tree.Own(tree.Root, initTask.ID)
 
 	prevBarrier := initTask.ID
+	tr := newTrace(c) // reused across relax tasks; see bfs.go
 	active := []int32{int32(source)}
 	for round := 0; len(active) > 0 && (maxRounds == 0 || int64(round) < maxRounds); round++ {
 		d.RecordMetric(fmt.Sprintf("sssp.active.round_%02d.vertices", round), int64(len(active)))
@@ -81,7 +82,7 @@ func BellmanFord(g *CSR, source int64, seed uint64, maxWeight, maxRounds int64, 
 		})
 		chunkIDs := make([]dag.TaskID, 0, len(chunks))
 		for _, cr := range chunks {
-			tr := newTrace(c.LineBytes)
+			tr.reset()
 			for i := cr[0]; i < cr[1]; i++ {
 				u := int64(active[i])
 				tr.touch(frontAddr(parity, i), false, c.InstrsPerVertex)
@@ -133,5 +134,5 @@ func BellmanFord(g *CSR, source int64, seed uint64, maxWeight, maxRounds int64, 
 		active = next
 	}
 
-	return finish(d, tree, "sssp")
+	return finish(d, tree, "sssp", c)
 }

@@ -55,20 +55,67 @@ func rankAddr(parity int, v int64) uint64 {
 // consecutive touches to the same line collapse into one reference (their
 // instruction counts accumulate), matching how the regular workload
 // generators emit one reference per line touched.
+//
+// The line arithmetic is hoisted to a precomputed shift when lineBytes is a
+// power of two (it always is for the configured line sizes), so the host
+// walks pay one shift per touch instead of two hardware divisions.  When the
+// trace feeds an interning store (the default — see Costs), gen copies the
+// accumulated references into the store's arena, so one trace can be reused
+// across tasks via reset, keeping kernel builds free of per-task slice
+// growth.
 type trace struct {
 	lineBytes int64
+	lineShift uint // valid when pow2
+	pow2      bool
+	store     *refs.TraceStore
 	refs      []refs.Ref
 	lastLine  uint64
 	pending   int64 // instructions to charge before the next emitted ref
 }
 
-func newTrace(lineBytes int64) *trace {
-	return &trace{lineBytes: lineBytes, lastLine: ^uint64(0)}
+func newTrace(c Costs) *trace {
+	t := &trace{lineBytes: c.LineBytes, store: c.store, lastLine: ^uint64(0)}
+	if lb := uint64(c.LineBytes); lb&(lb-1) == 0 {
+		t.pow2 = true
+		for uint64(1)<<t.lineShift < lb {
+			t.lineShift++
+		}
+	}
+	return t
+}
+
+// reset rewinds the trace for the next task.  The accumulated buffer is
+// reused only when an interning store copied its contents (gen hands the
+// slice itself to the generator otherwise).
+func (t *trace) reset() {
+	if t.store != nil {
+		t.refs = t.refs[:0]
+	} else {
+		t.refs = nil
+	}
+	t.lastLine = ^uint64(0)
+	t.pending = 0
+}
+
+// line maps an address to its line index.
+func (t *trace) line(addr uint64) uint64 {
+	if t.pow2 {
+		return addr >> t.lineShift
+	}
+	return addr / uint64(t.lineBytes)
+}
+
+// lineAddr maps a line index back to its base address.
+func (t *trace) lineAddr(line uint64) uint64 {
+	if t.pow2 {
+		return line << t.lineShift
+	}
+	return line * uint64(t.lineBytes)
 }
 
 // touch records an access to addr, charging instrs instructions before it.
 func (t *trace) touch(addr uint64, write bool, instrs int64) {
-	line := addr / uint64(t.lineBytes)
+	line := t.line(addr)
 	t.pending += instrs
 	if len(t.refs) > 0 && line == t.lastLine {
 		if write {
@@ -77,7 +124,7 @@ func (t *trace) touch(addr uint64, write bool, instrs int64) {
 		return
 	}
 	t.refs = append(t.refs, refs.Ref{
-		Addr:   line * uint64(t.lineBytes),
+		Addr:   t.lineAddr(line),
 		Write:  write,
 		Instrs: t.pending,
 	})
@@ -90,19 +137,25 @@ func (t *trace) span(addr uint64, bytes int64, write bool, instrsPerLine int64) 
 	if bytes <= 0 {
 		return
 	}
-	first := addr / uint64(t.lineBytes)
-	last := (addr + uint64(bytes) - 1) / uint64(t.lineBytes)
+	first := t.line(addr)
+	last := t.line(addr + uint64(bytes) - 1)
 	for line := first; line <= last; line++ {
-		t.touch(line*uint64(t.lineBytes), write, instrsPerLine)
+		t.touch(t.lineAddr(line), write, instrsPerLine)
 	}
 }
 
 // gen finalises the trace into a replayable generator, charging tail
-// instructions (plus any pending ones) after the final reference.  The
-// returned generator is a refs.Points, so it serves the simulator's batched
-// reader (refs.Bulk) natively and its instruction total is computed once at
-// construction rather than on every Instrs call.
+// instructions (plus any pending ones) after the final reference.  With an
+// interning store (the default) the result is a refs.Recorded whose arena is
+// shared by every identical task stream of the build; without one it is a
+// refs.Points over the accumulated slice.  Either way the generator serves
+// the simulator's batched reader (refs.Bulk) and zero-copy slice path
+// (refs.Sliced) natively, and its instruction total is computed once at
+// construction.
 func (t *trace) gen(tail int64) refs.Gen {
+	if t.store != nil {
+		return t.store.InternRefs(t.refs, tail+t.pending)
+	}
 	return refs.NewPoints(t.refs, tail+t.pending)
 }
 
@@ -129,6 +182,12 @@ type Costs struct {
 	// SpawnInstrs is the overhead charged to barrier/spawn tasks
 	// (default 200).
 	SpawnInstrs int64
+
+	// store interns the per-task traces so byte-identical sibling streams
+	// share one arena.  withDefaults creates a fresh per-build store, so
+	// interning is always on; the field stays unexported because it is a
+	// pure perf layer with no effect on the emitted streams.
+	store *refs.TraceStore
 }
 
 func (c Costs) withDefaults() Costs {
@@ -146,6 +205,9 @@ func (c Costs) withDefaults() Costs {
 	}
 	if c.SpawnInstrs == 0 {
 		c.SpawnInstrs = 200
+	}
+	if c.store == nil {
+		c.store = refs.NewTraceStore()
 	}
 	return c
 }

@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+// Generator-side micro-benchmarks for the trace accumulator: touch is the
+// per-edge cost of every kernel's host walk, span the per-region cost of the
+// init/reduce tasks.  Both sit on the hoisted line-shift arithmetic (one
+// shift per touch instead of two divisions), and gen on the interning store,
+// so these pin the DAG-build side of the trace-memoization work; the
+// simulate-side win is tracked by the facade's BenchmarkSimulate* suite.
+
+func BenchmarkTraceTouch(b *testing.B) {
+	tr := newTrace(Costs{}.withDefaults())
+	// A scatter over 4096 lines with every 4th touch a write: roughly the
+	// shape of a BFS explore task's distance-vector gathers.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.reset()
+		for j := 0; j < 4096; j++ {
+			addr := uint64(j*2654435761) % (4096 * 128)
+			tr.touch(addr, j%4 == 0, 8)
+		}
+	}
+}
+
+func BenchmarkTraceSpan(b *testing.B) {
+	tr := newTrace(Costs{}.withDefaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.reset()
+		tr.span(0, 4096*128, true, 1)
+	}
+}
+
+// BenchmarkTraceGenInterned measures the full accumulate-and-intern cycle
+// with every stream identical — the steady state of a kernel emitting
+// repeated chunk shapes, where gen is a fingerprint plus one arena lookup.
+func BenchmarkTraceGenInterned(b *testing.B) {
+	tr := newTrace(Costs{}.withDefaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.reset()
+		for j := 0; j < 256; j++ {
+			tr.touch(uint64(j)*128, false, 4)
+		}
+		if g := tr.gen(100); g.Len() == 0 {
+			b.Fatal("empty generator")
+		}
+	}
+}
+
+// BenchmarkBuildPageRankTrace builds the full PageRank DAG — the kernel with
+// the heaviest per-edge trace traffic and real intra-build stream sharing
+// (parity addressing makes iterations i and i+2 byte-identical).
+func BenchmarkBuildPageRankTrace(b *testing.B) {
+	g, err := New(Config{Family: FamilyRMAT, Vertices: 1 << 12, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PageRank(g, 4, Costs{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -57,8 +57,9 @@ func Triangles(g *CSR, costs Costs) (*dag.DAG, *taskgroup.Tree, int64, error) {
 	var groupBytes int64
 	chunks := chunk(g.N, 4*c.EdgesPerTask, work)
 	chunkIDs := make([]dag.TaskID, 0, len(chunks))
+	tr := newTrace(c) // reused across counting tasks; see bfs.go
 	for ci, cr := range chunks {
-		tr := newTrace(c.LineBytes)
+		tr.reset()
 		var count int64
 		for u := cr[0]; u < cr[1]; u++ {
 			tr.touch(offsetAddr(u), false, c.InstrsPerVertex)
@@ -99,7 +100,7 @@ func Triangles(g *CSR, costs Costs) (*dag.DAG, *taskgroup.Tree, int64, error) {
 	}
 	group.Param = float64(groupBytes)
 
-	reduce := newTrace(c.LineBytes)
+	reduce := newTrace(c)
 	reduce.span(accumAddr(0), int64(len(chunks))*vertexEntryBytes, false, 4)
 	reduce.touch(accumAddr(int64(len(chunks))), true, 2)
 	reduceTask := d.AddTask("triangles-reduce", reduce.gen(c.SpawnInstrs))
@@ -110,6 +111,6 @@ func Triangles(g *CSR, costs Costs) (*dag.DAG, *taskgroup.Tree, int64, error) {
 		d.MustEdge(id, reduceTask.ID)
 	}
 
-	d2, t2, err := finish(d, tree, "triangles")
+	d2, t2, err := finish(d, tree, "triangles", c)
 	return d2, t2, total, err
 }

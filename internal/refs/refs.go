@@ -59,6 +59,22 @@ type Bulk interface {
 	NextBlock(buf []Ref) int
 }
 
+// Sliced is an optional extension of Bulk for generators whose remaining
+// stream is already resident in memory (Points, Recorded).  NextSlice hands
+// out the backing storage itself, so a consumer replays the whole stream
+// without a single copy — the simulator's fastest drain path.
+//
+// NextSlice shares the stream position with Next and NextBlock: it returns
+// everything not yet consumed and advances the position to the end, so an
+// empty slice means the stream is exhausted.  Callers must treat the
+// returned slice as read-only; it remains valid across Reset.
+type Sliced interface {
+	Bulk
+	// NextSlice returns the stream's remaining references as a slice of the
+	// generator's backing storage and advances the position past them.
+	NextSlice() []Ref
+}
+
 // BlockSize is the batch size block-oriented consumers (the simulator, the
 // profiler's trace reader) use by default.  64 references amortise dispatch
 // to noise while keeping per-core buffers comfortably inside the host L1.
@@ -96,6 +112,9 @@ var (
 	_ Bulk = (*Interleave)(nil)
 	_ Bulk = (*Repeat)(nil)
 	_ Bulk = (*WithTail)(nil)
+
+	// Resident generators also serve the zero-copy slice path.
+	_ Sliced = (*Points)(nil)
 )
 
 // intn returns a uniform value in [0, n) drawn from r. n must be > 0.
@@ -221,6 +240,14 @@ func (p *Points) NextBlock(buf []Ref) int {
 	n := copy(buf, p.Refs[p.pos:])
 	p.pos += n
 	return n
+}
+
+// NextSlice implements Sliced, handing out the remainder of Refs directly.
+// Callers must treat the slice as read-only.
+func (p *Points) NextSlice() []Ref {
+	out := p.Refs[p.pos:]
+	p.pos = len(p.Refs)
+	return out
 }
 
 // Scan walks a contiguous region sequentially, touching one address per

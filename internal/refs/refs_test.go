@@ -392,6 +392,10 @@ func bulkFixtures() map[string]func() Gen {
 		},
 		"repeat":   func() Gen { return NewRepeat(NewScan(1<<20, 500, 64, 2), 4) },
 		"withtail": func() Gen { return NewWithTail(NewScan(1<<20, 700, 64, 1), 33) },
+		"recorded": func() Gen { return Record(NewScan(1<<20, 900, 64, 2)) },
+		"interned": func() Gen {
+			return NewTraceStore().Intern(&Strided{Base: 1 << 21, StrideBytes: 256, Count: 99, InstrsPerRef: 3})
+		},
 	}
 }
 

@@ -10,9 +10,17 @@
 // The experiment harness (internal/experiments) expresses every figure as a
 // job list executed here, cmd/sweep exposes arbitrary sweeps on the command
 // line, and tests exploit the determinism guarantee: the results of a sweep
-// are identical regardless of the worker count, because each job builds its
-// own DAG (reference generators are stateful, so DAGs are never shared
-// between concurrent simulations) and the simulator itself is deterministic.
+// are identical regardless of the worker count, because each job simulates a
+// private DAG instance (reference generators are stateful, so replay cursors
+// are never shared between concurrent simulations) and the simulator itself
+// is deterministic.
+//
+// Jobs that share a (workload, parameters, machine configuration) triple —
+// the common shape: one job per scheduler over the same build — share one
+// memoised DAG template recorded into a content-addressed trace store; see
+// memo.go.  Sharing is driven entirely by job keys, so it needs no opt-in
+// and cannot change results: instances replay the recorded streams
+// bit-identically to a fresh build.
 package sweep
 
 import (
@@ -28,6 +36,7 @@ import (
 	"cmpsched/internal/config"
 	"cmpsched/internal/dag"
 	"cmpsched/internal/obs"
+	"cmpsched/internal/refs"
 	"cmpsched/internal/sched"
 )
 
@@ -71,10 +80,18 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s", k.Workload, k.Scheduler)
 }
 
-// BuildFunc constructs a fresh DAG for one run.  It is called once per
-// executed job, inside the worker, so it must be safe to call concurrently
-// with other jobs' builds — and must not return a DAG that shares reference
-// generators with any other live DAG.
+// BuildFunc constructs a fresh DAG for one run.  It may be called from any
+// worker, so it must be safe to call concurrently with other jobs' builds —
+// and must not return a DAG that shares reference generators with any other
+// live DAG.
+//
+// Builds must be pure functions of the job key's Workload, Params and Config
+// fields: the engine memoises the built DAG per (Workload, Params, Config)
+// triple and serves later jobs of the triple from the recording (see
+// memo.go), so two jobs with equal triples MUST build equivalent DAGs, and
+// at most one of their Build functions will actually run per sweep engine.
+// Every standard constructor (NewJob callers fingerprinting their config
+// structs into Params) satisfies this by construction.
 type BuildFunc func() (*dag.DAG, error)
 
 // DeriveFunc computes named scalar metrics from a finished run while the
@@ -165,6 +182,13 @@ type Engine struct {
 	workers int
 	cache   Cache
 	em      engineMetrics
+
+	// snapshots memoises DAG templates by (workload, params, config); the
+	// recorded reference streams live in traces, one shared read-only store
+	// for the whole engine.  See memo.go.
+	snapMu    sync.Mutex
+	snapshots map[string]*snapshotEntry
+	traces    *refs.TraceStore
 }
 
 // EngineOptions configure an Engine.
@@ -190,19 +214,32 @@ type engineMetrics struct {
 	simCycles, simTasks                *obs.ShardedCounter
 	l1Hits, l1Misses, l2Hits, l2Misses *obs.ShardedCounter
 	memFetches                         *obs.ShardedCounter
+	// dagBuilds counts DAG templates actually built; dagShared counts jobs
+	// served from a memoised template instead (see memo.go).  Both are
+	// incremented once-per-key-event under the snapshot lock's ordering, so
+	// their totals are worker-count independent like everything else here.
+	dagBuilds, dagShared *obs.ShardedCounter
+	// Trace-interning totals of the engine's shared store, set when a
+	// stream finishes.
+	traceUnique, traceInterned, traceArena *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry, shards int) engineMetrics {
 	return engineMetrics{
-		jobs:       reg.ShardedCounter("sweep.jobs", shards),
-		cached:     reg.ShardedCounter("sweep.jobs_cached", shards),
-		simCycles:  reg.ShardedCounter("sweep.sim_cycles", shards),
-		simTasks:   reg.ShardedCounter("sweep.sim_tasks", shards),
-		l1Hits:     reg.ShardedCounter("sweep.cache.l1_hits", shards),
-		l1Misses:   reg.ShardedCounter("sweep.cache.l1_misses", shards),
-		l2Hits:     reg.ShardedCounter("sweep.cache.l2_hits", shards),
-		l2Misses:   reg.ShardedCounter("sweep.cache.l2_misses", shards),
-		memFetches: reg.ShardedCounter("sweep.mem_fetches", shards),
+		jobs:          reg.ShardedCounter("sweep.jobs", shards),
+		cached:        reg.ShardedCounter("sweep.jobs_cached", shards),
+		simCycles:     reg.ShardedCounter("sweep.sim_cycles", shards),
+		simTasks:      reg.ShardedCounter("sweep.sim_tasks", shards),
+		l1Hits:        reg.ShardedCounter("sweep.cache.l1_hits", shards),
+		l1Misses:      reg.ShardedCounter("sweep.cache.l1_misses", shards),
+		l2Hits:        reg.ShardedCounter("sweep.cache.l2_hits", shards),
+		l2Misses:      reg.ShardedCounter("sweep.cache.l2_misses", shards),
+		memFetches:    reg.ShardedCounter("sweep.mem_fetches", shards),
+		dagBuilds:     reg.ShardedCounter("sweep.dag_builds", 1),
+		dagShared:     reg.ShardedCounter("sweep.dag_rebuilds_avoided", 1),
+		traceUnique:   reg.Gauge("sweep.trace.unique"),
+		traceInterned: reg.Gauge("sweep.trace.interned"),
+		traceArena:    reg.Gauge("sweep.trace.arena_bytes"),
 	}
 }
 
@@ -230,7 +267,13 @@ func NewEngine(opts EngineOptions) *Engine {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	return &Engine{workers: w, cache: opts.Cache, em: newEngineMetrics(opts.Metrics, w)}
+	return &Engine{
+		workers:   w,
+		cache:     opts.Cache,
+		em:        newEngineMetrics(opts.Metrics, w),
+		snapshots: make(map[string]*snapshotEntry),
+		traces:    refs.NewTraceStore(),
+	}
 }
 
 // Workers returns the engine's concurrency bound.
@@ -249,6 +292,7 @@ func (e *Engine) Run(jobs []Job) ([]Result, error) {
 // engine so the callback needs no locking.  The returned slice is still in
 // job order.
 func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Result, error) {
+	defer e.publishTraceStats()
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -328,9 +372,9 @@ func (e *Engine) runJob(j Job) (Result, error) {
 	if j.Build == nil {
 		return Result{}, fmt.Errorf("job has no build function")
 	}
-	d, err := j.Build()
+	d, err := e.instantiate(j)
 	if err != nil {
-		return Result{}, fmt.Errorf("build: %w", err)
+		return Result{}, err
 	}
 
 	opts := cmpsim.DefaultOptions()

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"sync"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/refs"
+	"cmpsched/internal/taskgroup"
+)
+
+// memoized wraps a Workload so the generation work happens once: the first
+// Build runs the wrapped workload and records its DAG into a
+// content-addressed trace store (identical task streams share one arena),
+// and every Build — the first included — returns a fresh instance replaying
+// the recording.  Instances simulate bit-identically to the wrapped
+// workload's own DAGs and are independent, so callers may simulate them
+// concurrently; the task-group tree is returned as-is (it is read-only after
+// Finalize).
+type memoized struct {
+	w    Workload
+	mu   sync.Mutex
+	snap *dag.Snapshot
+	tree *taskgroup.Tree
+	err  error
+}
+
+// Memoize wraps w so repeated Builds replay a recording of the first instead
+// of regenerating the DAG.  Use it when the same workload instance is built
+// many times — repeated simulator runs, benchmark loops — and the build cost
+// or the per-build stream memory matters.  The wrapped workload must build
+// deterministically (every registered workload does).
+func Memoize(w Workload) Workload {
+	return &memoized{w: w}
+}
+
+// Name implements Workload.
+func (m *memoized) Name() string { return m.w.Name() }
+
+// Build implements Workload, serving instances of the memoised recording.
+func (m *memoized) Build() (*dag.DAG, *taskgroup.Tree, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, nil, m.err
+	}
+	if m.snap == nil {
+		d, tree, err := m.w.Build()
+		if err != nil {
+			m.err = err
+			return nil, nil, err
+		}
+		m.snap = dag.Record(d, refs.NewTraceStore())
+		m.tree = tree
+	}
+	return m.snap.Instantiate(), m.tree, nil
+}
+
+// Stats returns the interning statistics of the recording's trace store
+// (zeros before the first Build).
+func (m *memoized) Stats() refs.TraceStoreStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snap == nil {
+		return refs.TraceStoreStats{}
+	}
+	return m.snap.Store().Stats()
+}
