@@ -15,18 +15,18 @@ test:
 	$(GO) test ./...
 
 # The concurrent pieces — the sweep engine's worker pool, the scheduler
-# registry (Register/New may race against running sweeps) and the metrics
-# registry's sharded counters — run under the race detector (CI runs this
-# step too).
+# registry (Register/New may race against running sweeps), the metrics
+# registry's sharded counters and the sweep service's single-flight dedup —
+# run under the race detector (CI runs this step too).
 race-sweep:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/... ./internal/sweepsvc/...
 
-# The docs gate: the public facade, the scheduler package and the
-# observability package must carry a package comment and a doc comment on
-# every exported identifier (the rest of the repository is kept clean too,
-# but only these gate CI).
+# The docs gate: the public facade, the scheduler package, the observability
+# package and the sweep service must carry a package comment and a doc
+# comment on every exported identifier (the rest of the repository is kept
+# clean too, but only these gate CI).
 doc-check:
-	$(GO) run ./cmd/doccheck . ./internal/sched ./internal/obs
+	$(GO) run ./cmd/doccheck . ./internal/sched ./internal/obs ./internal/sweepsvc
 
 vet:
 	$(GO) vet ./...

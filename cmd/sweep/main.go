@@ -24,9 +24,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -141,10 +144,21 @@ func main() {
 		}
 		prog.Step(r.Cached)
 	}
-	results, err := engine.RunStream(jobs, onResult)
+	// Ctrl-C stops admitting new jobs but flushes every completed row: the
+	// exporters below run on the partial result slice (they skip unfilled
+	// rows), so an interrupted overnight sweep still yields its finished
+	// points.  A second interrupt kills the process immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	interrupted := false
+	results, err := engine.RunStreamContext(ctx, jobs, onResult)
 	prog.Finish()
 	if err != nil {
-		fatalf("%v", err)
+		if !errors.Is(err, context.Canceled) {
+			fatalf("%v", err)
+		}
+		interrupted = true
+		fmt.Fprintf(os.Stderr, "sweep: interrupted; writing the %d completed rows\n", done)
 	}
 	elapsed := time.Since(start)
 
@@ -182,6 +196,10 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if interrupted {
+		flushProfiles()
+		os.Exit(130)
 	}
 }
 

@@ -1,0 +1,279 @@
+// Command sweepctl is the fan-out client for sweepd: it submits design-space
+// grids over HTTP, streams result rows as simulations finish, and writes
+// them with the same exporters cmd/sweep uses — so a grid swept through a
+// server is byte-comparable with one swept locally.
+//
+// Usage:
+//
+//	sweepctl -workloads mergesort,hashjoin -quick              # one server
+//	sweepctl -server http://a:8357,http://b:8357 -quick ...    # fan out
+//	sweepctl -workloads lu -seq -format json -o lu.json
+//	sweepctl -list                                             # axis values
+//
+// With several -server endpoints the grid is expanded to explicit points
+// locally, the points are sharded round-robin across the endpoints, and the
+// returned rows are merged back into the canonical expansion order — the
+// same deterministic Key order a single submission (or cmd/sweep itself)
+// would produce, regardless of which server finished first.  Sharding is
+// key-preserving: every point carries the same sweep.Key it would in the
+// full grid, so the servers' caches stay shareable.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cmpsched/internal/config"
+	"cmpsched/internal/sched"
+	"cmpsched/internal/sweep"
+	"cmpsched/internal/sweepsvc"
+	"cmpsched/internal/workload"
+)
+
+func main() {
+	var (
+		servers    = flag.String("server", "http://127.0.0.1:8357", "comma-separated sweepd base URLs; more than one shards the grid")
+		workloads  = flag.String("workloads", "mergesort,hashjoin,lu", "comma-separated workloads: "+strings.Join(workload.Names(), ", "))
+		schedulers = flag.String("schedulers", "pdf,ws", "comma-separated schedulers: "+strings.Join(sched.Names(), ", "))
+		list       = flag.Bool("list", false, "print the available workloads, schedulers, topologies and configuration tables, then exit")
+		tables     = flag.String("tables", sweep.TableDefault, "configuration tables: default (Table 2), 45nm (Table 3)")
+		topology   = flag.String("topology", "shared", "comma-separated cache topologies: shared, private, clustered:<k>")
+		cores      = flag.String("cores", "", "comma-separated core counts (empty = all the tables define)")
+		scale      = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
+		quick      = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
+		seq        = flag.Bool("seq", false, "also run the sequential baseline per point")
+		format     = flag.String("format", "csv", "output format: csv or json")
+		out        = flag.String("o", "", "output file (empty = stdout)")
+		verbose    = flag.Bool("v", false, "log each received row to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("workloads:  %s\n", strings.Join(workload.Names(), ", "))
+		fmt.Printf("schedulers: %s (plus the %q baseline via -seq)\n",
+			strings.Join(sched.Names(), ", "), sweep.Sequential)
+		fmt.Printf("topologies: shared, private, clustered:<cores-per-slice>\n")
+		fmt.Printf("tables:     %s (Table 2), %s (Table 3)\n", sweep.TableDefault, sweep.Table45nm)
+		return
+	}
+	if *format != "csv" && *format != "json" {
+		fatalf("unknown format %q (want csv or json)", *format)
+	}
+	endpoints := splitList(*servers)
+	if len(endpoints) == 0 {
+		fatalf("no -server endpoints")
+	}
+
+	req := &sweepsvc.Request{
+		Workloads:  splitList(*workloads),
+		Schedulers: splitList(*schedulers),
+		Tables:     splitList(*tables),
+		Topologies: splitList(*topology),
+		Scale:      *scale,
+		Quick:      *quick,
+		Sequential: *seq,
+	}
+	var err error
+	if req.Cores, err = parseInts(*cores); err != nil {
+		fatalf("bad -cores: %v", err)
+	}
+	// Validate locally against the same registries the server consults, so
+	// typos fail here with the full diagnosis instead of as an HTTP 400.
+	points, err := req.ExpandPoints()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	results := make([]sweep.Result, len(points))
+	var failures []string
+	if len(endpoints) == 1 {
+		failures, err = stream(endpoints[0], req, *verbose, func(i int, r sweep.Result) { results[i] = r })
+		if err != nil {
+			fatalf("%s: %v", endpoints[0], err)
+		}
+	} else {
+		failures, err = fanOut(endpoints, req, points, *verbose, results)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	// The exporters skip unfilled rows, so partial output on failure is
+	// still well-formed.
+	switch *format {
+	case "csv":
+		err = sweep.WriteCSV(w, results)
+	case "json":
+		err = sweep.WriteJSON(w, results)
+	}
+	if err != nil {
+		fatalf("write %s: %v", *format, err)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "sweepctl: %s\n", f)
+		}
+		fatalf("%d of %d jobs failed", len(failures), len(points))
+	}
+}
+
+// fanOut shards the expanded points round-robin across the endpoints,
+// submits each shard as an explicit-points request, and scatters the rows
+// back into the full grid's slice by global index — the merge is position-,
+// not arrival-, ordered, so the output is deterministic.
+func fanOut(endpoints []string, req *sweepsvc.Request, points []sweepsvc.Point, verbose bool, results []sweep.Result) ([]string, error) {
+	shards := make([][]int, len(endpoints)) // shard -> global point indices
+	for i := range points {
+		s := i % len(endpoints)
+		shards[s] = append(shards[s], i)
+	}
+	var (
+		mu       sync.Mutex
+		failures []string
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for s, idxs := range shards {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(endpoint string, idxs []int) {
+			defer wg.Done()
+			shard := &sweepsvc.Request{Scale: req.Scale, Quick: req.Quick}
+			for _, gi := range idxs {
+				shard.Points = append(shard.Points, points[gi])
+			}
+			fails, err := stream(endpoint, shard, verbose, func(i int, r sweep.Result) {
+				results[idxs[i]] = r
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			failures = append(failures, fails...)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", endpoint, err)
+			}
+		}(endpoints[s], idxs)
+	}
+	wg.Wait()
+	return failures, firstErr
+}
+
+// stream submits one request and decodes the NDJSON event stream, handing
+// each completed row to emit with its index within this submission.  Failed
+// jobs are collected, not fatal: the rest of the sweep keeps streaming.
+func stream(endpoint string, req *sweepsvc.Request, verbose bool, emit func(int, sweep.Result)) (failures []string, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(strings.TrimSuffix(endpoint, "/")+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return nil, fmt.Errorf("server rejected the sweep (%s, retry after %ss): %s",
+				resp.Status, ra, strings.TrimSpace(string(msg)))
+		}
+		return nil, fmt.Errorf("server rejected the sweep (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var done, total int
+	start := time.Now()
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev sweepsvc.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return failures, fmt.Errorf("bad event %q: %w", line, err)
+		}
+		switch ev.Type {
+		case sweepsvc.EventAccepted:
+			total = ev.Total
+			if verbose {
+				fmt.Fprintf(os.Stderr, "sweepctl: %s: sweep %s accepted, %d jobs\n", endpoint, ev.SweepID, total)
+			}
+		case sweepsvc.EventResult:
+			done++
+			if ev.Err != "" {
+				failures = append(failures, fmt.Sprintf("%s: job %d: %s", endpoint, ev.Index, ev.Err))
+				continue
+			}
+			if ev.Result != nil {
+				emit(ev.Index, *ev.Result)
+				if verbose {
+					fmt.Fprintf(os.Stderr, "sweepctl: [%d/%d] %s on %s: %d cycles%s\n",
+						done, total, ev.Result.Key, ev.Result.Sim.Config.Name, ev.Result.Sim.Cycles, cachedTag(*ev.Result))
+				}
+			}
+		case sweepsvc.EventCancelled:
+			return failures, fmt.Errorf("sweep cancelled server-side after %d of %d rows", done, total)
+		case sweepsvc.EventDone:
+			if verbose && ev.Summary != nil {
+				fmt.Fprintf(os.Stderr, "sweepctl: %s: done, %d completed, %d failed, %d dedup hits in %.2fs\n",
+					endpoint, ev.Summary.Completed, ev.Summary.Failed, ev.Summary.DedupHits, time.Since(start).Seconds())
+			}
+		}
+	}
+	return failures, sc.Err()
+}
+
+func cachedTag(r sweep.Result) string {
+	if r.Cached {
+		return " (cached)"
+	}
+	return ""
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweepctl: "+format+"\n", args...)
+	os.Exit(1)
+}

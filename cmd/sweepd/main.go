@@ -1,0 +1,125 @@
+// Command sweepd serves the sweep engine over HTTP: clients submit
+// declarative design-space grids (or explicit point lists) and stream back
+// per-job result rows as the simulations finish.  Concurrent clients whose
+// grids overlap share work — each distinct sweep key simulates at most once,
+// served by single-flight deduplication and the shared result cache.
+//
+// Usage:
+//
+//	sweepd                                        # serve on 127.0.0.1:8357
+//	sweepd -addr :8357 -workers 8                 # public, bounded parallelism
+//	sweepd -cache-dir /var/cache/sweep            # persistent cross-run cache
+//	sweepd -max-queue 256 -retry-after 5s         # admission control tuning
+//	sweepd -list                                  # axis values clients may use
+//
+// Endpoints: POST /sweeps (submit, streams NDJSON or SSE), GET and DELETE
+// /sweeps/{id} (status, cancel), GET /metrics, GET /healthz.  On SIGINT or
+// SIGTERM the server drains: admission stops (503 + Retry-After, /healthz
+// flips to 503 so load balancers rotate it out), the backlog finishes
+// streaming, then the process exits cleanly.  -drain-timeout bounds the
+// drain; on expiry remaining sweeps are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cmpsched/internal/sched"
+	"cmpsched/internal/sweep"
+	"cmpsched/internal/sweepsvc"
+	"cmpsched/internal/workload"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8357", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = one per host CPU)")
+		maxQueue     = flag.Int("max-queue", 0, "max admitted-but-unstarted jobs across all sweeps (0 = default)")
+		maxSweeps    = flag.Int("max-sweeps", 0, "max concurrently active sweeps (0 = default)")
+		maxJobs      = flag.Int("max-jobs", 0, "max jobs in one submission (0 = default)")
+		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint on saturated rejections (0 = default)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max time to finish the backlog on SIGTERM before cancelling it")
+		list         = flag.Bool("list", false, "print the workloads, schedulers, topologies and tables clients may submit, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		printAvailable(os.Stdout)
+		return
+	}
+
+	var cache sweep.Cache
+	if *cacheDir != "" {
+		dc, err := sweep.NewDiskCache(*cacheDir)
+		if err != nil {
+			log.Fatalf("sweepd: %v", err)
+		}
+		dc.SetLogf(log.Printf)
+		cache = dc
+	}
+	svc := sweepsvc.NewService(sweepsvc.Options{
+		Workers:         *workers,
+		MaxQueue:        *maxQueue,
+		MaxSweeps:       *maxSweeps,
+		MaxJobsPerSweep: *maxJobs,
+		RetryAfter:      *retryAfter,
+		Cache:           cache,
+	})
+	h := sweepsvc.NewHandler(svc)
+	h.Logf = log.Printf
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
+	server := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+	log.Printf("sweepd: listening on http://%s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		log.Fatalf("sweepd: serve: %v", err)
+	}
+	stop() // a second signal kills the process immediately
+
+	// Drain before Shutdown: admission flips to 503 at once (new clients are
+	// turned away, /healthz rotates us out of load balancers) while admitted
+	// sweeps finish streaming; Shutdown then waits for those streams'
+	// connections to close.
+	log.Printf("sweepd: draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("sweepd: drain expired, remaining sweeps cancelled: %v", err)
+	}
+	if err := server.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sweepd: shutdown: %v", err)
+	}
+	log.Printf("sweepd: drained, exiting")
+}
+
+// printAvailable lists every axis value a wire request accepts (-list),
+// straight from the live registries so late registrations and parameterised
+// scheduler spellings show up without server changes.
+func printAvailable(w *os.File) {
+	fmt.Fprintf(w, "workloads:  %s\n", strings.Join(workload.Names(), ", "))
+	fmt.Fprintf(w, "schedulers: %s (plus the %q baseline)\n",
+		strings.Join(sched.Names(), ", "), sweep.Sequential)
+	fmt.Fprintf(w, "topologies: shared, private, clustered:<cores-per-slice>\n")
+	fmt.Fprintf(w, "tables:     %s (Table 2), %s (Table 3)\n", sweep.TableDefault, sweep.Table45nm)
+}

@@ -26,6 +26,11 @@
 //   - the zero-cost-when-off observability layer: a task-lifecycle tracer
 //     with Chrome trace-event export, a metrics registry and a live
 //     progress reporter (internal/obs),
+//   - the design-space sweep engine — content-addressed result caching over
+//     a bounded worker pool — and the sweep service that shares one engine
+//     between concurrent HTTP clients with single-flight deduplication and
+//     streaming delivery (internal/sweep, internal/sweepsvc, cmd/sweepd,
+//     cmd/sweepctl),
 //   - and the experiment harness that regenerates every table and figure of
 //     the paper's evaluation (internal/experiments).
 //
@@ -55,6 +60,7 @@ import (
 	"cmpsched/internal/profile"
 	"cmpsched/internal/sched"
 	"cmpsched/internal/sweep"
+	"cmpsched/internal/sweepsvc"
 	"cmpsched/internal/taskgroup"
 	"cmpsched/internal/workload"
 )
@@ -171,6 +177,28 @@ type (
 	// SweepWorkloadFactory builds workloads for sweep specifications; see
 	// ExperimentOptions.WorkloadFactory for the paper-sized inputs.
 	SweepWorkloadFactory = sweep.WorkloadFactory
+
+	// SweepService shares one sweep engine between concurrent clients with
+	// cross-client single-flight deduplication, admission control and
+	// streaming per-job delivery (the core of cmd/sweepd; see
+	// internal/sweepsvc).
+	SweepService = sweepsvc.Service
+	// SweepServiceOptions configure a SweepService (worker count, queue and
+	// sweep bounds, cache, metrics).
+	SweepServiceOptions = sweepsvc.Options
+	// SweepHandler is the HTTP/JSON binding of a SweepService: submission
+	// with NDJSON/SSE result streaming, status, cancellation, metrics and
+	// health endpoints.
+	SweepHandler = sweepsvc.Handler
+	// SweepRequest is the strict wire encoding of one sweep submission — a
+	// declarative grid or an explicit point list — expanding to the same
+	// cache keys the CLI produces.
+	SweepRequest = sweepsvc.Request
+	// SweepPoint is one explicit design-space point of a SweepRequest.
+	SweepPoint = sweepsvc.Point
+	// SweepEvent is one message of a sweep's result stream (accepted,
+	// result, done, cancelled).
+	SweepEvent = sweepsvc.Event
 
 	// Tracer records task-lifecycle events (spawn, ready, run, steal,
 	// migrate, pin, finish) stamped with simulated cycles; attach one via
@@ -404,6 +432,15 @@ func NewSweepDiskCache(dir string) (SweepCache, error) { return sweep.NewDiskCac
 func RunSweep(spec SweepSpec, opts SweepEngineOptions) ([]SweepResult, error) {
 	return spec.Run(opts)
 }
+
+// NewSweepService returns a sweep service sharing one engine between
+// concurrent clients (see SweepService); drain it with its Drain method
+// before discarding it.
+func NewSweepService(opts SweepServiceOptions) *SweepService { return sweepsvc.NewService(opts) }
+
+// NewSweepHandler binds a sweep service to its HTTP/JSON surface (the
+// handler cmd/sweepd serves).
+func NewSweepHandler(svc *SweepService) *SweepHandler { return sweepsvc.NewHandler(svc) }
 
 // WriteSweepCSV, WriteSweepJSON and ReadSweepJSON export and import sweep
 // results (JSON round-trips losslessly).

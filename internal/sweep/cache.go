@@ -82,10 +82,18 @@ func (c *MemoryCache) Len() int {
 // in-memory layer in front so repeated hits within a process do not re-read
 // or re-parse files.  Entries written by earlier processes are picked up, so
 // repeated sweeps across invocations are near-instant.
+//
+// Corrupt entries — truncated files from a killed writer, garbage from a
+// damaged disk, or an entry whose embedded key does not match its address —
+// are tolerated: Get logs (when a logger is set) and reports a miss, the job
+// recomputes, and the following Put overwrites the bad file.  A shared disk
+// cache therefore degrades to recomputation, never to failed jobs.
 type DiskCache struct {
 	counters
 	dir string
 	mem *MemoryCache
+
+	logf func(format string, args ...any)
 }
 
 // NewDiskCache creates the directory if needed and returns a cache over it.
@@ -98,6 +106,11 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 
 // Dir returns the backing directory.
 func (c *DiskCache) Dir() string { return c.dir }
+
+// SetLogf installs a Printf-style logger for corrupt-entry reports (nil, the
+// default, keeps them silent).  Set it before the cache is shared between
+// goroutines; the engine's workers call Get concurrently.
+func (c *DiskCache) SetLogf(logf func(format string, args ...any)) { c.logf = logf }
 
 func (c *DiskCache) path(k Key) string {
 	return filepath.Join(c.dir, k.Hash()+".json")
@@ -116,8 +129,21 @@ func (c *DiskCache) Get(k Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	var e Entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Key != k {
-		// Corrupt file or (astronomically unlikely) hash collision.
+	if err := json.Unmarshal(data, &e); err != nil {
+		// Truncated or garbage file: miss, so the job recomputes and the
+		// resulting Put overwrites the corrupt entry.
+		if c.logf != nil {
+			c.logf("sweep: cache: corrupt entry %s (%d bytes): %v; recomputing", c.path(k), len(data), err)
+		}
+		c.misses.Add(1)
+		return Entry{}, false
+	}
+	if e.Key != k {
+		// A parseable entry under the wrong address: either a foreign file
+		// or an (astronomically unlikely) hash collision.
+		if c.logf != nil {
+			c.logf("sweep: cache: entry %s holds key %s, want %s; recomputing", c.path(k), e.Key, k)
+		}
 		c.misses.Add(1)
 		return Entry{}, false
 	}

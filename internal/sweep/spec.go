@@ -82,8 +82,11 @@ func (s Spec) EffectiveScale() int64 {
 	return scale
 }
 
-// tableConfigs returns the (unscaled) configurations of a named table.
-func tableConfigs(table string) ([]config.CMP, error) {
+// TableConfigs returns the (unscaled) configurations of a named table, in
+// the table's canonical order.  Exported for service layers (sweepsvc) that
+// resolve wire-submitted grid points to the same configurations — and hence
+// the same cache keys — a Spec expansion would.
+func TableConfigs(table string) ([]config.CMP, error) {
 	switch table {
 	case TableDefault:
 		return config.Defaults(), nil
@@ -141,7 +144,7 @@ func (s Spec) Jobs() ([]Job, error) {
 	var jobs []Job
 	for _, wl := range s.Workloads {
 		for _, table := range tables {
-			cfgs, err := tableConfigs(table)
+			cfgs, err := TableConfigs(table)
 			if err != nil {
 				return nil, err
 			}

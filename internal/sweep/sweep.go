@@ -24,6 +24,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -284,7 +285,16 @@ func (e *Engine) Workers() int { return e.workers }
 // results together with the error of the lowest-indexed failing job, so the
 // reported error is deterministic too.
 func (e *Engine) Run(jobs []Job) ([]Result, error) {
-	return e.RunStream(jobs, nil)
+	return e.RunStreamContext(context.Background(), jobs, nil)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the engine
+// stops starting new jobs, lets in-flight jobs finish, and returns the
+// partial results (completed entries filled, the rest zero) together with
+// the context's error.  Cancellation is checked between jobs, never inside a
+// simulation, so every returned Result is complete and cacheable.
+func (e *Engine) RunContext(ctx context.Context, jobs []Job) ([]Result, error) {
+	return e.RunStreamContext(ctx, jobs, nil)
 }
 
 // RunStream is Run with a streaming callback: onResult is invoked once per
@@ -292,6 +302,16 @@ func (e *Engine) Run(jobs []Job) ([]Result, error) {
 // engine so the callback needs no locking.  The returned slice is still in
 // job order.
 func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Result, error) {
+	return e.RunStreamContext(context.Background(), jobs, onResult)
+}
+
+// RunStreamContext is RunStream with cancellation, combining the contracts
+// of RunContext and RunStream: results stream in completion order until ctx
+// is cancelled, at which point no new jobs start and the partial job-ordered
+// slice is returned with the context's error.  Job errors take precedence
+// over cancellation in the returned error, keeping failure reporting
+// deterministic.
+func (e *Engine) RunStreamContext(ctx context.Context, jobs []Job, onResult func(index int, r Result)) ([]Result, error) {
 	defer e.publishTraceStats()
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -303,6 +323,9 @@ func (e *Engine) RunStream(jobs []Job, onResult func(index int, r Result)) ([]Re
 	if workers <= 1 {
 		// Serial fast path: stop at the first error, like a plain loop.
 		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return results, fmt.Errorf("sweep: %w", err)
+			}
 			r, err := e.runJob(jobs[i])
 			if err != nil {
 				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
@@ -349,6 +372,8 @@ feed:
 		case indexes <- i:
 		case <-abort:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(indexes)
@@ -357,6 +382,9 @@ feed:
 		if err != nil {
 			return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("sweep: %w", err)
 	}
 	return results, nil
 }
