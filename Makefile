@@ -16,17 +16,19 @@ test:
 
 # The concurrent pieces — the sweep engine's worker pool, the scheduler
 # registry (Register/New may race against running sweeps), the metrics
-# registry's sharded counters and the sweep service's single-flight dedup —
-# run under the race detector (CI runs this step too).
+# registry's sharded counters, the sweep service's single-flight dedup, the
+# cross-process cache leases (heartbeat goroutines vs takeover) and the
+# fault-injection shims they are tested through — run under the race
+# detector (CI runs this step too).
 race-sweep:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/... ./internal/sweepsvc/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/... ./internal/sweepsvc/... ./internal/faultinject/...
 
 # The docs gate: the public facade, the scheduler package, the observability
-# package and the sweep service must carry a package comment and a doc
-# comment on every exported identifier (the rest of the repository is kept
-# clean too, but only these gate CI).
+# package, the sweep service and the fault-injection harness must carry a
+# package comment and a doc comment on every exported identifier (the rest
+# of the repository is kept clean too, but only these gate CI).
 doc-check:
-	$(GO) run ./cmd/doccheck . ./internal/sched ./internal/obs ./internal/sweepsvc
+	$(GO) run ./cmd/doccheck . ./internal/sched ./internal/obs ./internal/sweepsvc ./internal/faultinject
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,49 @@
+package cmpsim
+
+import (
+	"errors"
+	"testing"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/refs"
+	"cmpsched/internal/sched"
+)
+
+// TestRunCancelled: a closed Cancel channel aborts the run with ErrCancelled
+// once the event loop reaches its poll point.
+func TestRunCancelled(t *testing.T) {
+	// Enough references that the loop crosses the poll interval.
+	rs := make([]refs.Ref, 2*cancelCheckInterval)
+	for i := range rs {
+		rs[i] = refs.Ref{Addr: 128, Instrs: 1}
+	}
+	d := dag.New("cancelled")
+	d.AddTask("t", refs.NewPoints(rs, 0))
+
+	cancelled := make(chan struct{})
+	close(cancelled)
+	opts := DefaultOptions()
+	opts.Cancel = cancelled
+	_, err := RunWithOptions(d, sched.NewPDF(), testConfig(1, 64*1024), opts)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+
+	// The same run with no Cancel channel completes normally.
+	opts.Cancel = nil
+	if _, err := RunWithOptions(d, sched.NewPDF(), testConfig(1, 64*1024), opts); err != nil {
+		t.Fatalf("uncancelled run failed: %v", err)
+	}
+}
+
+// TestCancelExcludedFromFingerprint: the cancellation channel is a control
+// input, not a semantic one — two option sets differing only in Cancel must
+// share one cache key.
+func TestCancelExcludedFromFingerprint(t *testing.T) {
+	a := DefaultOptions()
+	b := DefaultOptions()
+	b.Cancel = make(chan struct{})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("Cancel leaked into the fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}

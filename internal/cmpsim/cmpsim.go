@@ -34,6 +34,7 @@
 package cmpsim
 
 import (
+	"errors"
 	"fmt"
 
 	"cmpsched/internal/cache"
@@ -58,6 +59,15 @@ type Options struct {
 	// default in Run; disable for repeated runs of an already-validated
 	// DAG.
 	ValidateDAG bool
+
+	// Cancel, when non-nil, aborts the run with ErrCancelled once the
+	// channel is closed.  The event loop polls it every few thousand
+	// references (allocation-free, a countdown and a non-blocking select),
+	// so a runaway simulation stops within microseconds of cancellation
+	// while an uncancelled run pays essentially nothing.  Like Tracer and
+	// Metrics it cannot change a completed run's results and is excluded
+	// from Fingerprint.
+	Cancel <-chan struct{}
 
 	// Tracer, when non-nil, records the task-lifecycle event stream
 	// (spawn/ready/run/finish, plus steal/migrate/pin from trace-aware
@@ -189,6 +199,20 @@ func (r *Result) L2MissesByLevel(d *dag.DAG) map[int]int64 {
 	return out
 }
 
+// ErrCancelled is returned by RunWithOptions when Options.Cancel closes
+// before the simulation completes.  It marks the abort as external — the
+// run's inputs are fine, it was just not allowed to finish — so callers
+// (the sweep engine's job timeouts) can distinguish it from simulation
+// failures.
+var ErrCancelled = errors.New("cmpsim: run cancelled")
+
+// cancelCheckInterval is how many event-loop iterations pass between polls
+// of Options.Cancel.  Each iteration is one historical event (a memory
+// access, a tail charge, or a task completion), so at simulator throughput
+// this bounds the cancellation latency to well under a millisecond while
+// amortising the poll to nothing.
+const cancelCheckInterval = 4096
+
 // Run simulates d on cfg under scheduler s with default options.
 func Run(d *dag.DAG, s sched.Scheduler, cfg config.CMP) (*Result, error) {
 	return RunWithOptions(d, s, cfg, DefaultOptions())
@@ -272,6 +296,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 	if maxCycles <= 0 {
 		maxCycles = int64(1e15)
 	}
+	// Cancellation countdown: with no Cancel channel the interval is set so
+	// far out the poll never fires, keeping the uncancelled hot loop free of
+	// even the non-blocking select.
+	cancelEvery := int64(1) << 62
+	if opts.Cancel != nil {
+		cancelEvery = cancelCheckInterval
+	}
+	cancelIn := cancelEvery
 
 	hier, err := cache.NewHierarchy(cfg.HierarchyConfig())
 	if err != nil {
@@ -430,6 +462,14 @@ func RunWithOptions(d *dag.DAG, s sched.Scheduler, cfg config.CMP, opts Options)
 		for {
 			if now > maxCycles {
 				return nil, fmt.Errorf("cmpsim: exceeded MaxCycles=%d (deadlock or runaway workload?)", maxCycles)
+			}
+			if cancelIn--; cancelIn <= 0 {
+				cancelIn = cancelEvery
+				select {
+				case <-opts.Cancel:
+					return nil, fmt.Errorf("%w after %d cycles", ErrCancelled, now)
+				default:
+				}
 			}
 			if !st.busy {
 				// Stale event (should not happen); ignore defensively.

@@ -1,0 +1,225 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cmpsched/internal/prng"
+)
+
+// HTTPFaults configures the HTTP fault middleware: per-request injected
+// rejections, latency, and mid-stream connection drops, decided by a seeded
+// splitmix64 stream in request-arrival order.  Exactly one decision value is
+// consumed per matched request, so a single-client test replays the same
+// schedule every run.
+type HTTPFaults struct {
+	// Seed seeds the decision stream.
+	Seed uint64
+	// Rate429 is the fraction of requests rejected with 429 Too Many
+	// Requests plus a Retry-After header — the saturated-server fault.
+	Rate429 float64
+	// Rate503 is the fraction rejected with 503 Service Unavailable — the
+	// dead-or-draining-server fault.
+	Rate503 float64
+	// RateDrop is the fraction whose response is cut mid-stream after
+	// DropAfterBytes of body — the broken-connection fault.
+	RateDrop float64
+	// RetryAfter is the hint attached to injected 429s (default one
+	// second).
+	RetryAfter time.Duration
+	// Latency is added before every matched request is served (zero adds
+	// none).
+	Latency time.Duration
+	// DropAfterBytes is how much of the response body passes through before
+	// an injected drop tears the connection down (default 256).
+	DropAfterBytes int64
+	// PathPrefix restricts injection to matching request paths (default
+	// "/sweeps"), so health and metrics endpoints stay readable while the
+	// data path misbehaves.
+	PathPrefix string
+	// Logf, when non-nil, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// ParseHTTPFaults decodes the -fault-inject flag syntax: comma-separated
+// key=value pairs from seed=<n>, 429=<rate>, 503=<rate>, drop=<rate>,
+// latency=<duration>, drop-bytes=<n>, prefix=<path>.  An empty string
+// returns the zero value (no faults).
+func ParseHTTPFaults(s string) (HTTPFaults, error) {
+	var cfg HTTPFaults
+	if s = strings.TrimSpace(s); s == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad pair %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "429":
+			cfg.Rate429, err = parseRate(v)
+		case "503":
+			cfg.Rate503, err = parseRate(v)
+		case "drop":
+			cfg.RateDrop, err = parseRate(v)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(v)
+		case "drop-bytes":
+			cfg.DropAfterBytes, err = strconv.ParseInt(v, 10, 64)
+		case "prefix":
+			cfg.PathPrefix = v
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faultinject: bad %s=%q: %v", k, v, err)
+		}
+	}
+	return cfg, nil
+}
+
+// parseRate parses a probability and range-checks it.
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", r)
+	}
+	return r, nil
+}
+
+// withDefaults fills the zero fields.
+func (c HTTPFaults) withDefaults() HTTPFaults {
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DropAfterBytes <= 0 {
+		c.DropAfterBytes = 256
+	}
+	if c.PathPrefix == "" {
+		c.PathPrefix = "/sweeps"
+	}
+	return c
+}
+
+// Enabled reports whether any fault can fire.
+func (c HTTPFaults) Enabled() bool {
+	return c.Rate429 > 0 || c.Rate503 > 0 || c.RateDrop > 0 || c.Latency > 0
+}
+
+// Wrap returns h with the fault schedule in front of it.  A disabled
+// configuration returns h unchanged.
+func (c HTTPFaults) Wrap(h http.Handler) http.Handler {
+	if !c.Enabled() {
+		return h
+	}
+	c = c.withDefaults()
+	inj := &httpInjector{cfg: c, next: h, rng: prng.SplitMix64{State: c.Seed}}
+	return inj
+}
+
+// httpInjector is the middleware state: the decision stream and counters.
+type httpInjector struct {
+	cfg  HTTPFaults
+	next http.Handler
+
+	mu       sync.Mutex
+	rng      prng.SplitMix64
+	requests int
+}
+
+// logf logs through the configured logger.
+func (inj *httpInjector) logf(format string, args ...any) {
+	if inj.cfg.Logf != nil {
+		inj.cfg.Logf(format, args...)
+	}
+}
+
+// decide consumes one stream value and maps it onto the configured fault
+// bands: [0,429-rate) injects 429, the next band 503, the next a drop.
+func (inj *httpInjector) decide() (n int, fault string) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.requests++
+	u := float64(inj.rng.Next()>>11) / float64(1<<53) // uniform in [0,1)
+	switch {
+	case u < inj.cfg.Rate429:
+		fault = "429"
+	case u < inj.cfg.Rate429+inj.cfg.Rate503:
+		fault = "503"
+	case u < inj.cfg.Rate429+inj.cfg.Rate503+inj.cfg.RateDrop:
+		fault = "drop"
+	}
+	return inj.requests, fault
+}
+
+// ServeHTTP implements http.Handler.
+func (inj *httpInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, inj.cfg.PathPrefix) {
+		inj.next.ServeHTTP(w, r)
+		return
+	}
+	n, fault := inj.decide()
+	if inj.cfg.Latency > 0 {
+		time.Sleep(inj.cfg.Latency)
+	}
+	switch fault {
+	case "429":
+		inj.logf("faultinject: request %d: injected 429", n)
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((inj.cfg.RetryAfter+time.Second-1)/time.Second), 10))
+		http.Error(w, "faultinject: injected saturation", http.StatusTooManyRequests)
+	case "503":
+		inj.logf("faultinject: request %d: injected 503", n)
+		http.Error(w, "faultinject: injected unavailability", http.StatusServiceUnavailable)
+	case "drop":
+		inj.logf("faultinject: request %d: dropping stream after %d bytes", n, inj.cfg.DropAfterBytes)
+		dw := &droppingWriter{ResponseWriter: w, budget: inj.cfg.DropAfterBytes}
+		inj.next.ServeHTTP(dw, r)
+	default:
+		inj.next.ServeHTTP(w, r)
+	}
+}
+
+// droppingWriter passes budget bytes of body through, then aborts the
+// connection via http.ErrAbortHandler — net/http closes the socket without
+// a terminating chunk, which a streaming client observes as a mid-stream
+// disconnect.
+type droppingWriter struct {
+	http.ResponseWriter
+	budget int64
+}
+
+// Write implements http.ResponseWriter.
+func (d *droppingWriter) Write(p []byte) (int, error) {
+	if d.budget <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) > d.budget {
+		n, _ := d.ResponseWriter.Write(p[:d.budget])
+		d.budget = 0
+		if f, ok := d.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		_ = n
+		panic(http.ErrAbortHandler)
+	}
+	d.budget -= int64(len(p))
+	return d.ResponseWriter.Write(p)
+}
+
+// Flush implements http.Flusher so streamed responses keep flushing through
+// the wrapper.
+func (d *droppingWriter) Flush() {
+	if f, ok := d.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -3,12 +3,14 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/faultinject"
 )
 
 // Entry is one cached run: the simulator result plus any derived metrics,
@@ -88,21 +90,127 @@ func (c *MemoryCache) Len() int {
 // are tolerated: Get logs (when a logger is set) and reports a miss, the job
 // recomputes, and the following Put overwrites the bad file.  A shared disk
 // cache therefore degrades to recomputation, never to failed jobs.
+//
+// Opening a cache garbage-collects the debris a crashed writer can leave
+// behind: orphaned put-*.tmp files older than TempMaxAge and .lease files
+// (see lease.go) older than LeaseMaxAge, so a killed process never
+// permanently poisons a cache directory.
 type DiskCache struct {
 	counters
 	dir string
 	mem *MemoryCache
+	fs  faultinject.FS
 
 	logf func(format string, args ...any)
+
+	gcTemps, gcLeases int
 }
 
-// NewDiskCache creates the directory if needed and returns a cache over it.
+// DiskCacheOptions tune a DiskCache; the zero value is the default
+// configuration NewDiskCache uses.
+type DiskCacheOptions struct {
+	// FS is the filesystem the cache operates through.  Nil means the real
+	// filesystem; tests substitute a faultinject.Faulty to rehearse crashes
+	// and I/O errors deterministically.
+	FS faultinject.FS
+	// Logf, when non-nil, receives corrupt-entry and garbage-collection
+	// reports (same role as SetLogf).
+	Logf func(format string, args ...any)
+	// TempMaxAge is the age beyond which an orphaned put-*.tmp file is
+	// collected on open.  Zero means one hour: long enough that no live
+	// writer's temp file is ever collected, short enough that crash debris
+	// does not accumulate.
+	TempMaxAge time.Duration
+	// LeaseMaxAge is the age beyond which a .lease file is collected on
+	// open.  Zero means one minute — far beyond any live holder's heartbeat
+	// interval (see LeaseOptions), so only leases whose owner died without
+	// takeover are swept.
+	LeaseMaxAge time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (o DiskCacheOptions) withDefaults() DiskCacheOptions {
+	if o.FS == nil {
+		o.FS = faultinject.OS()
+	}
+	if o.TempMaxAge <= 0 {
+		o.TempMaxAge = time.Hour
+	}
+	if o.LeaseMaxAge <= 0 {
+		o.LeaseMaxAge = time.Minute
+	}
+	return o
+}
+
+// NewDiskCache creates the directory if needed and returns a cache over it
+// with default options.
 func NewDiskCache(dir string) (*DiskCache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewDiskCacheWith(dir, DiskCacheOptions{})
+}
+
+// NewDiskCacheWith is NewDiskCache with explicit options.
+func NewDiskCacheWith(dir string, opts DiskCacheOptions) (*DiskCache, error) {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: cache dir: %w", err)
 	}
-	return &DiskCache{dir: dir, mem: NewMemoryCache()}, nil
+	c := &DiskCache{dir: dir, mem: NewMemoryCache(), fs: opts.FS, logf: opts.Logf}
+	c.gc(opts.TempMaxAge, opts.LeaseMaxAge)
+	return c, nil
 }
+
+// gc sweeps crash debris out of the cache directory: orphaned temp files
+// from writers that died mid-Put, and lease files whose owner died long
+// enough ago that no live instance can still be heartbeating them.  GC
+// failures are logged and ignored — a cache that cannot clean up still
+// works, the debris just waits for the next open.
+func (c *DiskCache) gc(tempMaxAge, leaseMaxAge time.Duration) {
+	ents, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		if c.logf != nil {
+			c.logf("sweep: cache: gc: %v", err)
+		}
+		return
+	}
+	now := time.Now()
+	for _, ent := range ents {
+		name := ent.Name()
+		var maxAge time.Duration
+		switch {
+		case strings.HasPrefix(name, "put-") && strings.HasSuffix(name, ".tmp"):
+			maxAge = tempMaxAge
+		case strings.HasSuffix(name, leaseSuffix):
+			maxAge = leaseMaxAge
+		default:
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		if age := now.Sub(info.ModTime()); age > maxAge {
+			path := filepath.Join(c.dir, name)
+			if err := c.fs.Remove(path); err != nil {
+				if c.logf != nil {
+					c.logf("sweep: cache: gc: %v", err)
+				}
+				continue
+			}
+			if strings.HasSuffix(name, leaseSuffix) {
+				c.gcLeases++
+			} else {
+				c.gcTemps++
+			}
+			if c.logf != nil {
+				c.logf("sweep: cache: gc: removed %s (age %s)", path, age.Round(time.Second))
+			}
+		}
+	}
+}
+
+// GCStats reports how many orphaned temp files and expired lease files the
+// open-time garbage collection removed.
+func (c *DiskCache) GCStats() (temps, leases int) { return c.gcTemps, c.gcLeases }
 
 // Dir returns the backing directory.
 func (c *DiskCache) Dir() string { return c.dir }
@@ -123,7 +231,7 @@ func (c *DiskCache) Get(k Key) (Entry, bool) {
 		c.hits.Add(1)
 		return e, true
 	}
-	data, err := os.ReadFile(c.path(k))
+	data, err := c.fs.ReadFile(c.path(k))
 	if err != nil {
 		c.misses.Add(1)
 		return Entry{}, false
@@ -163,21 +271,21 @@ func (c *DiskCache) Put(e Entry) error {
 	if err != nil {
 		return fmt.Errorf("sweep: encode cache entry: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	tmp, err := c.fs.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = c.fs.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = c.fs.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(e.Key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp.Name(), c.path(e.Key)); err != nil {
+		_ = c.fs.Remove(tmp.Name())
 		return fmt.Errorf("sweep: cache write: %w", err)
 	}
 	return nil

@@ -1,0 +1,388 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cmpsched/internal/cmpsim"
+	"cmpsched/internal/faultinject"
+	"cmpsched/internal/obs"
+)
+
+// fastLeaseOptions keeps the protocol's waits in test territory.
+func fastLeaseOptions(owner string) LeaseOptions {
+	return LeaseOptions{
+		Owner:     owner,
+		TTL:       200 * time.Millisecond,
+		Heartbeat: 20 * time.Millisecond,
+		Poll:      5 * time.Millisecond,
+		Metrics:   obs.NewRegistry(),
+	}
+}
+
+func testKey(n int) Key {
+	return Key{Workload: "w", Params: fmt.Sprintf("p%d", n), Scheduler: "pdf", Config: "c"}
+}
+
+func testEntry(k Key) Entry {
+	return Entry{Key: k, Sim: &cmpsim.Result{Cycles: 42}}
+}
+
+// TestLeaseSingleFlight: the first Acquire wins the lease, a concurrent
+// second Acquire waits and adopts the entry the winner puts.
+func TestLeaseSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	open := func(owner string) *LeasedCache {
+		dc, err := NewDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewLeasedCache(dc, fastLeaseOptions(owner))
+	}
+	a, b := open("a"), open("b")
+	k := testKey(1)
+
+	_, ok, lease, err := a.Acquire(context.Background(), k)
+	if err != nil || ok || lease == nil {
+		t.Fatalf("first acquire: ok=%v lease=%v err=%v, want a held lease", ok, lease, err)
+	}
+
+	adopted := make(chan Entry, 1)
+	go func() {
+		e, ok, l, err := b.Acquire(context.Background(), k)
+		if err != nil || !ok || l != nil {
+			t.Errorf("waiter: ok=%v lease=%v err=%v, want adoption", ok, l, err)
+		}
+		adopted <- e
+	}()
+
+	time.Sleep(30 * time.Millisecond) // let the waiter contend
+	if err := a.Put(testEntry(k)); err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+
+	select {
+	case e := <-adopted:
+		if e.Sim == nil || e.Sim.Cycles != 42 {
+			t.Fatalf("adopted entry = %+v, want the put entry", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never adopted")
+	}
+
+	if got := b.lm.adopted.Value(); got != 1 {
+		t.Fatalf("adopted counter = %d, want 1", got)
+	}
+	if got := a.lm.released.Value(); got != 1 {
+		t.Fatalf("released counter = %d, want 1", got)
+	}
+	// The lease file must be gone after a clean release.
+	if _, err := os.Stat(a.leasePath(k)); !os.IsNotExist(err) {
+		t.Fatalf("lease file survived release: %v", err)
+	}
+}
+
+// TestLeaseStaleTakeover: a lease whose holder died (no heartbeat for longer
+// than the TTL) is fenced and reclaimed with an incremented token.
+func TestLeaseStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLeasedCache(dc, fastLeaseOptions("survivor"))
+	k := testKey(2)
+
+	// Plant a dead holder's lease: token 7, mtime far past the TTL.
+	path := c.leasePath(k)
+	body, _ := json.Marshal(leaseRecord{Owner: "deceased", Token: 7})
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ok, lease, err := c.Acquire(context.Background(), k)
+	if err != nil || ok || lease == nil {
+		t.Fatalf("takeover acquire: ok=%v lease=%v err=%v", ok, lease, err)
+	}
+	if lease.token != 8 {
+		t.Fatalf("fencing token = %d, want 8 (old token + 1)", lease.token)
+	}
+	if got := c.lm.takeovers.Value(); got != 1 {
+		t.Fatalf("takeovers counter = %d, want 1", got)
+	}
+	lease.Release()
+}
+
+// TestLeaseReleaseFencing: a holder that lost its lease to a takeover must
+// not delete the successor's lease file.
+func TestLeaseReleaseFencing(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLeasedCache(dc, fastLeaseOptions("zombie"))
+	k := testKey(3)
+
+	_, _, lease, err := c.Acquire(context.Background(), k)
+	if err != nil || lease == nil {
+		t.Fatalf("acquire: lease=%v err=%v", lease, err)
+	}
+
+	// A successor fences the lease while the holder stalls.
+	path := c.leasePath(k)
+	body, _ := json.Marshal(leaseRecord{Owner: "successor", Token: lease.token + 1})
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lease.Release()
+	if got := c.lm.fenced.Value(); got != 1 {
+		t.Fatalf("fenced counter = %d, want 1", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("successor's lease was deleted by the fenced holder: %v", err)
+	}
+	var rec leaseRecord
+	if json.Unmarshal(data, &rec) != nil || rec.Owner != "successor" {
+		t.Fatalf("lease content clobbered: %s", data)
+	}
+}
+
+// TestLeaseCrashMidFlightRecovered rehearses the headline crash: a holder
+// claims the lease, begins writing its entry, and dies mid-rename (SIGKILL
+// semantics via faultinject).  A second instance must take the flight over
+// and complete it, and a reopened cache must collect the debris.
+func TestLeaseCrashMidFlightRecovered(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(4)
+
+	// Instance 1 on a crashing filesystem: claims the lease, then dies at
+	// its first rename (the entry Put), leaving lease + temp file behind.
+	crashFS := faultinject.NewFaulty(faultinject.OS(), 1)
+	crashFS.CrashAt(faultinject.OpRename, 1)
+	dc1, err := NewDiskCacheWith(dir, DiskCacheOptions{FS: crashFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewLeasedCache(dc1, fastLeaseOptions("victim"))
+	_, ok, lease1, err := c1.Acquire(context.Background(), k)
+	if err != nil || ok || lease1 == nil {
+		t.Fatalf("victim acquire: ok=%v lease=%v err=%v", ok, lease1, err)
+	}
+	if err := c1.Put(testEntry(k)); err == nil {
+		t.Fatal("put should crash")
+	}
+	if !crashFS.Crashed() {
+		t.Fatal("filesystem not crashed")
+	}
+	// The victim is dead: no Release, no heartbeat (the heartbeat goroutine
+	// will fail its Chtimes through the crashed FS and mark the lease lost).
+
+	// Instance 2 on the real filesystem: sees the stale lease (after TTL),
+	// fences it, and completes the flight.
+	dc2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewLeasedCache(dc2, fastLeaseOptions("survivor"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok, lease2, err := c2.Acquire(context.Background(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("entry cannot exist yet")
+		}
+		if lease2 != nil {
+			if err := c2.Put(testEntry(k)); err != nil {
+				t.Fatal(err)
+			}
+			lease2.Release()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivor never took the stale lease over")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := c2.lm.takeovers.Value(); got != 1 {
+		t.Fatalf("takeovers counter = %d, want 1", got)
+	}
+	if e, ok := c2.Get(k); !ok || e.Sim.Cycles != 42 {
+		t.Fatalf("entry missing after recovery: %+v ok=%v", e, ok)
+	}
+
+	// The crash left a put-*.tmp orphan; a reopened cache with an aggressive
+	// GC horizon must sweep it (and any leftover lease debris).
+	time.Sleep(20 * time.Millisecond)
+	dc3, err := NewDiskCacheWith(dir, DiskCacheOptions{
+		TempMaxAge:  time.Nanosecond,
+		LeaseMaxAge: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, _ := dc3.GCStats()
+	if temps != 1 {
+		t.Fatalf("gc collected %d temp files, want 1", temps)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), ".tmp") || strings.HasSuffix(ent.Name(), leaseSuffix) {
+			t.Fatalf("debris survived gc: %s", ent.Name())
+		}
+	}
+}
+
+// TestLeaseAcquireDegradesOnIOErrors: lease-protocol I/O failures must fall
+// back to uncoordinated simulation (nil lease, nil error), never fail the
+// job.
+func TestLeaseAcquireDegradesOnIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	faulty := faultinject.NewFaulty(faultinject.OS(), 1)
+	dc, err := NewDiskCacheWith(dir, DiskCacheOptions{FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLeasedCache(dc, fastLeaseOptions("degraded"))
+	// OpCreate call 1 was the cache's MkdirAll; call 2 is the O_EXCL claim.
+	faulty.FailAt(faultinject.OpCreate, 2, nil)
+
+	_, ok, lease, err := c.Acquire(context.Background(), testKey(5))
+	if err != nil || ok || lease != nil {
+		t.Fatalf("degraded acquire: ok=%v lease=%v err=%v, want (false, nil, nil)", ok, lease, err)
+	}
+	if got := c.lm.errors.Value(); got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
+	}
+}
+
+// TestLeaseAcquireHonoursContext: a waiter blocked on a live holder's lease
+// returns promptly when its context is cancelled.
+func TestLeaseAcquireHonoursContext(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLeasedCache(dc, fastLeaseOptions("holder"))
+	k := testKey(6)
+	_, _, lease, err := c.Acquire(context.Background(), k)
+	if err != nil || lease == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer lease.Release()
+
+	c2 := NewLeasedCache(dc, fastLeaseOptions("waiter"))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, _, err = c2.Acquire(ctx, k)
+	if err == nil {
+		t.Fatal("cancelled waiter should return the context error")
+	}
+}
+
+// TestTwoEnginesShareOneCacheDir is the tentpole's in-process end-to-end:
+// two engines, each its own LeasedCache instance over one directory, run the
+// same sweep concurrently under -race.  The merged results must be identical
+// to a solo run, and the flights must be disjoint — the total number of
+// actual simulations across both instances equals the number of distinct
+// keys.
+func TestTwoEnginesShareOneCacheDir(t *testing.T) {
+	jobs, err := testSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: a solo run with no cache at all.
+	want, err := NewEngine(EngineOptions{Workers: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	type instance struct {
+		reg     *obs.Registry
+		results []Result
+	}
+	insts := make([]*instance, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range insts {
+		inst := &instance{reg: obs.NewRegistry()}
+		insts[i] = inst
+		dc, err := NewDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc := NewLeasedCache(dc, LeaseOptions{
+			Owner:     fmt.Sprintf("inst-%d", i),
+			TTL:       2 * time.Second,
+			Heartbeat: 50 * time.Millisecond,
+			Poll:      5 * time.Millisecond,
+			Metrics:   inst.reg,
+		})
+		eng := NewEngine(EngineOptions{Workers: 2, Cache: lc, Metrics: inst.reg})
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			insts[idx].results, errs[idx] = eng.Run(jobs)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+
+	var simulated int64
+	for i, inst := range insts {
+		if got := stripVariance(inst.results); !reflect.DeepEqual(got, stripVariance(want)) {
+			t.Fatalf("instance %d results diverge from the solo run", i)
+		}
+		vals := make(map[string]int64)
+		for _, s := range inst.reg.Snapshot() {
+			vals[s.Name] = s.Value
+		}
+		simulated += vals["sweep.jobs"] - vals["sweep.jobs_cached"]
+	}
+	distinct := make(map[string]bool)
+	for _, j := range jobs {
+		distinct[j.Key.Hash()] = true
+	}
+	if simulated != int64(len(distinct)) {
+		t.Fatalf("the two instances simulated %d jobs, want exactly %d (one per distinct key, zero duplicates)",
+			simulated, len(distinct))
+	}
+
+	// No lease files survive a clean sweep.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), leaseSuffix) {
+			t.Fatalf("lease debris after clean runs: %s", filepath.Join(dir, ent.Name()))
+		}
+	}
+}

@@ -27,8 +27,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -180,9 +182,10 @@ type Result struct {
 
 // Engine runs job lists on a bounded worker pool.
 type Engine struct {
-	workers int
-	cache   Cache
-	em      engineMetrics
+	workers    int
+	cache      Cache
+	jobTimeout time.Duration
+	em         engineMetrics
 
 	// snapshots memoises DAG templates by (workload, params, config); the
 	// recorded reference streams live in traces, one shared read-only store
@@ -205,6 +208,16 @@ type EngineOptions struct {
 	// jobs never contend — and the folded totals are independent of worker
 	// count and completion order, keeping the published view deterministic.
 	Metrics *obs.Registry
+	// JobTimeout, when positive, bounds each job's simulation wall-clock
+	// time: a run that exceeds it is cancelled (cmpsim.ErrCancelled) and the
+	// job fails with a timeout error, instead of a runaway simulation
+	// wedging a worker forever.  The timeout covers only the simulation —
+	// cache hits and adopted flights are exempt — and is private to the job:
+	// engine-level cancellation (RunContext) still takes effect only between
+	// jobs, so every non-timed-out Result stays complete and cacheable.
+	// Jobs that carry their own Options.Cancel keep it unless a timeout is
+	// configured.
+	JobTimeout time.Duration
 }
 
 // engineMetrics holds the engine's pre-resolved sharded-counter handles, one
@@ -269,11 +282,12 @@ func NewEngine(opts EngineOptions) *Engine {
 		w = runtime.NumCPU()
 	}
 	return &Engine{
-		workers:   w,
-		cache:     opts.Cache,
-		em:        newEngineMetrics(opts.Metrics, w),
-		snapshots: make(map[string]*snapshotEntry),
-		traces:    refs.NewTraceStore(),
+		workers:    w,
+		cache:      opts.Cache,
+		jobTimeout: opts.JobTimeout,
+		em:         newEngineMetrics(opts.Metrics, w),
+		snapshots:  make(map[string]*snapshotEntry),
+		traces:     refs.NewTraceStore(),
 	}
 }
 
@@ -326,7 +340,7 @@ func (e *Engine) RunStreamContext(ctx context.Context, jobs []Job, onResult func
 			if err := ctx.Err(); err != nil {
 				return results, fmt.Errorf("sweep: %w", err)
 			}
-			r, err := e.runJob(jobs[i])
+			r, err := e.runJob(ctx, jobs[i])
 			if err != nil {
 				return results, fmt.Errorf("sweep: job %d (%s): %w", i, jobs[i].Key, err)
 			}
@@ -349,7 +363,7 @@ func (e *Engine) RunStreamContext(ctx context.Context, jobs []Job, onResult func
 		go func(worker int) {
 			defer wg.Done()
 			for i := range indexes {
-				r, err := e.runJob(jobs[i])
+				r, err := e.runJob(ctx, jobs[i])
 				if err != nil {
 					errs[i] = err
 					// Stop feeding new jobs; in-flight ones finish.
@@ -390,11 +404,42 @@ feed:
 }
 
 // runJob executes (or recalls) a single job.
-func (e *Engine) runJob(j Job) (Result, error) {
+//
+// A panic anywhere in the job — a buggy workload builder, a scheduler edge
+// case, a derivation indexing past its stats — is recovered into the job's
+// error, so one bad job fails one row instead of killing the process (and,
+// under sweepsvc, the whole daemon).  ctx feeds only cross-process flight
+// coordination (FlightCache.Acquire waits); simulation cancellation is
+// governed by EngineOptions.JobTimeout alone, preserving the documented
+// between-jobs cancellation contract.
+func (e *Engine) runJob(ctx context.Context, j Job) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
 	start := time.Now()
 	if e.cache != nil && !j.KeepTaskStats {
 		if ent, ok := e.cache.Get(j.Key); ok {
 			return Result{Key: j.Key, Sim: ent.Sim, Derived: ent.Derived, Cached: true, Elapsed: time.Since(start)}, nil
+		}
+		if fc, ok := e.cache.(FlightCache); ok {
+			// Cross-process single-flight: adopt the entry if another
+			// instance lands it first, otherwise hold the flight's lease for
+			// the duration of the simulation.  The lease is released after
+			// the Put below (deferred, so also on failure — a waiter then
+			// re-claims and re-simulates); a nil lease with a nil error means
+			// coordination is degraded and we simulate uncoordinated.
+			ent, adopted, lease, aerr := fc.Acquire(ctx, j.Key)
+			if aerr != nil {
+				return Result{}, aerr
+			}
+			if adopted {
+				return Result{Key: j.Key, Sim: ent.Sim, Derived: ent.Derived, Cached: true, Elapsed: time.Since(start)}, nil
+			}
+			if lease != nil {
+				defer lease.Release()
+			}
 		}
 	}
 	if j.Build == nil {
@@ -417,6 +462,13 @@ func (e *Engine) runJob(j Job) (Result, error) {
 		// Derivations read per-task stats.
 		opts.RecordTaskStats = true
 	}
+	if e.jobTimeout > 0 {
+		// The timeout context is rooted at Background, not ctx: engine-level
+		// cancellation must keep taking effect only between jobs.
+		tctx, cancel := context.WithTimeout(context.Background(), e.jobTimeout)
+		defer cancel()
+		opts.Cancel = tctx.Done()
+	}
 	var r *cmpsim.Result
 	if j.Scheduler == Sequential {
 		r, err = cmpsim.RunSequentialWithOptions(d, j.Config, opts)
@@ -428,6 +480,9 @@ func (e *Engine) runJob(j Job) (Result, error) {
 		r, err = cmpsim.RunWithOptions(d, s, j.Config, opts)
 	}
 	if err != nil {
+		if e.jobTimeout > 0 && errors.Is(err, cmpsim.ErrCancelled) {
+			return Result{}, fmt.Errorf("job exceeded timeout %v: %w", e.jobTimeout, err)
+		}
 		return Result{}, err
 	}
 

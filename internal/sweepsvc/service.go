@@ -58,6 +58,11 @@ type Options struct {
 	// Metrics receives service and engine metrics.  Nil means a private
 	// registry (the service always accounts; Metrics only chooses where).
 	Metrics *obs.Registry
+	// JobTimeout, when positive, bounds each job's simulation wall-clock
+	// time (sweep.EngineOptions.JobTimeout): a runaway simulation is
+	// cancelled and reported as that job's failed row instead of wedging a
+	// runner forever.
+	JobTimeout time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -299,9 +304,10 @@ func NewService(opts Options) *Service {
 		sweeps:  make(map[string]*Sweep),
 	}
 	s.engine = sweep.NewEngine(sweep.EngineOptions{
-		Workers: opts.Workers,
-		Cache:   opts.Cache,
-		Metrics: opts.Metrics,
+		Workers:    opts.Workers,
+		Cache:      opts.Cache,
+		Metrics:    opts.Metrics,
+		JobTimeout: opts.JobTimeout,
 	})
 	for i := 0; i < s.engine.Workers(); i++ {
 		s.wg.Add(1)
