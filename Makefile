@@ -17,11 +17,18 @@ test:
 # The concurrent pieces — the sweep engine's worker pool, the scheduler
 # registry (Register/New may race against running sweeps), the metrics
 # registry's sharded counters, the sweep service's single-flight dedup, the
-# cross-process cache leases (heartbeat goroutines vs takeover) and the
-# fault-injection shims they are tested through — run under the race
+# cross-process cache leases (heartbeat goroutines vs takeover), the
+# fault-injection shims they are tested through, and the graph kernels
+# (whose DAG builders sweeps run concurrently) — run under the race
 # detector (CI runs this step too).
 race-sweep:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/... ./internal/sweepsvc/... ./internal/faultinject/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/obs/... ./internal/sweepsvc/... ./internal/faultinject/... ./internal/graph/...
+
+# 30-second crash hunt on the varint-delta adjacency decoder (the committed
+# corpus under internal/graph/testdata/fuzz replays in plain `go test`; this
+# target mutates beyond it).  CI runs this step too.
+fuzz-decoder:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeAdj$$' -fuzztime 30s ./internal/graph
 
 # The docs gate: the public facade, the scheduler package, the observability
 # package, the sweep service and the fault-injection harness must carry a

@@ -1,0 +1,124 @@
+// Command graphstat builds one generated graph instance in both host
+// representations and reports their memory footprints side by side: flat CSR
+// (int64 offsets + int32 edges) versus the Ligra+-style byte-compressed CSR
+// (varint-delta neighbour lists with per-vertex byte offsets).  This is the
+// tool behind the bytes/edge numbers in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	graphstat -family rmat -vertices 22 -degree 8          # 2^22-vertex RMAT
+//	graphstat -family uniform -vertices 16 -simulate bfs   # plus a simulated run
+//
+// -vertices is a log2 exponent, matching how the experiment harness scales
+// inputs.  With -simulate the named kernel builds its DAG over both
+// representations and the two task counts and total simulated references are
+// compared — a cheap end-to-end check that the compressed walk emits the
+// same trace shape outside the test suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/graph"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "rmat", "graph family: "+strings.Join(graph.Families(), ", "))
+		logV     = flag.Int("vertices", 22, "log2 of the vertex count")
+		degree   = flag.Int64("degree", 8, "average degree")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		simulate = flag.String("simulate", "", "also build this kernel's DAG over both representations: bfs, connectivity, kcore, mis or matching")
+	)
+	flag.Parse()
+
+	if *logV < 1 || *logV > 30 {
+		fatalf("-vertices must be a log2 exponent in [1, 30], got %d", *logV)
+	}
+	cfg := graph.Config{Family: *family, Vertices: 1 << *logV, AvgDegree: *degree, Seed: *seed}
+
+	start := time.Now()
+	g, err := graph.New(cfg)
+	if err != nil {
+		fatalf("build: %v", err)
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	c, err := graph.Compress(g)
+	if err != nil {
+		fatalf("compress: %v", err)
+	}
+	compressTime := time.Since(start)
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+
+	fmt.Printf("instance      %s\n", g.GraphName())
+	fmt.Printf("vertices      %d (2^%d)\n", g.NumVertices(), *logV)
+	fmt.Printf("edge slots    %d\n", g.NumEdges())
+	fmt.Printf("build         %.2fs generate, %.2fs compress (roundtrip-verified)\n",
+		buildTime.Seconds(), compressTime.Seconds())
+	fmt.Printf("heap in use   %.1f MiB\n", float64(mem.HeapInuse)/(1<<20))
+	fmt.Println()
+	fmt.Printf("%-12s %14s %10s %8s\n", "repr", "bytes", "MiB", "B/edge")
+	for _, r := range []graph.Graph{g, c} {
+		fmt.Printf("%-12s %14d %10.1f %8.2f\n",
+			r.Repr(), r.SizeBytes(), float64(r.SizeBytes())/(1<<20), graph.BytesPerEdge(r))
+	}
+	fmt.Printf("\ncompressed/flat: %.1f%% of the bytes (%.2fx smaller)\n",
+		100*float64(c.SizeBytes())/float64(g.SizeBytes()),
+		float64(g.SizeBytes())/float64(c.SizeBytes()))
+
+	if *simulate != "" {
+		df, err := buildKernel(*simulate, g)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		dc, err := buildKernel(*simulate, c)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fs, cs := df.ComputeStats(), dc.ComputeStats()
+		fmt.Printf("\n%s DAG        flat: %d tasks, %d refs; compressed: %d tasks, %d refs\n",
+			*simulate, df.NumTasks(), fs.TotalRefs, dc.NumTasks(), cs.TotalRefs)
+		if df.NumTasks() != dc.NumTasks() || fs.TotalRefs != cs.TotalRefs {
+			fatalf("representations disagree: the traces must be identical")
+		}
+		fmt.Println("traces agree: task counts and reference totals identical")
+	}
+}
+
+// buildKernel builds the named kernel's DAG over g with default costs.
+func buildKernel(name string, g graph.Graph) (*dag.DAG, error) {
+	switch name {
+	case "bfs":
+		d, _, err := graph.BFS(g, 0, graph.Costs{})
+		return d, err
+	case "connectivity":
+		d, _, _, err := graph.Connectivity(g, 1, graph.Costs{})
+		return d, err
+	case "kcore":
+		d, _, _, err := graph.KCore(g, graph.Costs{})
+		return d, err
+	case "mis":
+		d, _, _, err := graph.MIS(g, 1, graph.Costs{})
+		return d, err
+	case "matching":
+		d, _, _, err := graph.MaximalMatching(g, 1, graph.Costs{})
+		return d, err
+	default:
+		return nil, fmt.Errorf("unknown kernel %q (want bfs, connectivity, kcore, mis or matching)", name)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphstat: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,6 +8,8 @@
 //	sweep -list                                         # discover every axis value
 //	sweep -workloads mergesort,hashjoin                 # PDF vs WS, Table 2
 //	sweep -workloads bfs,sssp,pagerank,triangles        # irregular graph kernels
+//	sweep -workloads connectivity,kcore,mis,matching    # GBBS-parity suite
+//	sweep -workloads bfs -graph-repr compressed         # byte-compressed CSR host storage
 //	sweep -tables 45nm -cores 2,8,18,26 -quick          # a Figure 3 slice
 //	sweep -topology shared,private,clustered:4 -quick   # cache-topology axis
 //	sweep -schedulers pdf,ws,ws:nearest,sb -quick       # scheduler-registry axis
@@ -54,6 +56,7 @@ func main() {
 		cores      = flag.String("cores", "", "comma-separated core counts (empty = all the tables define)")
 		scale      = flag.Int64("scale", config.DefaultScale, "capacity scale factor relative to the paper's configurations")
 		quick      = flag.Bool("quick", false, "use reduced inputs (seconds instead of minutes)")
+		graphRepr  = flag.String("graph-repr", "", "host representation for graph kernels: flat or compressed (empty = flat); the simulated trace is identical either way")
 		seq        = flag.Bool("seq", false, "also run the sequential baseline per point")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = one per host CPU, 1 = serial)")
 		cacheDir   = flag.String("cache-dir", "", "directory for the persistent result cache (empty = in-memory only)")
@@ -93,7 +96,7 @@ func main() {
 		Scale:      *scale,
 		Quick:      *quick,
 		Sequential: *seq,
-		Factory:    experiments.Options{Scale: *scale, Quick: *quick}.WorkloadFactory(),
+		Factory:    experiments.Options{Scale: *scale, Quick: *quick, GraphRepr: *graphRepr}.WorkloadFactory(),
 	}
 	if spec.Cores, err = parseInts(*cores); err != nil {
 		fatalf("bad -cores: %v", err)

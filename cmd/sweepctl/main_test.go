@@ -200,7 +200,7 @@ func TestClientAllEndpointsDead(t *testing.T) {
 // once and never resubmitted (it would fail identically anywhere).
 func TestClientJobErrorIsTerminal(t *testing.T) {
 	points := testPoints(t, 4)
-	srv := newTestServer(t, faultinject.HTTPFaults{}, "hashjoin")
+	srv := newTestServer(t, faultinject.HTTPFaults{}, points[1].Workload)
 
 	results := make([]sweep.Result, len(points))
 	cl := newTestClient(srv.URL)
@@ -208,11 +208,11 @@ func TestClientJobErrorIsTerminal(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if len(failures) != 1 || !strings.Contains(failures[0], "hashjoin") {
-		t.Fatalf("failures = %v, want exactly the hashjoin build failure", failures)
+	if len(failures) != 1 || !strings.Contains(failures[0], points[1].Workload) {
+		t.Fatalf("failures = %v, want exactly the %s build failure", failures, points[1].Workload)
 	}
 	for i, r := range results {
-		if i == 2 {
+		if i == 1 {
 			if r.Sim != nil {
 				t.Fatal("failed point has a row")
 			}

@@ -18,8 +18,10 @@
 //   - the paper's CMP configuration tables (internal/config),
 //   - the benchmark workloads: Mergesort, Hash Join, LU, Matrix Multiply,
 //     Quicksort and a Heat stencil (internal/workload), plus the irregular
-//     graph kernels BFS, SSSP, PageRank and triangle counting over
-//     generated uniform/grid/RMAT graphs (internal/graph),
+//     graph kernels BFS, SSSP, PageRank, triangle counting, LDD
+//     connectivity, k-core peeling, maximal independent set and maximal
+//     matching over generated uniform/grid/RMAT graphs, walkable from a
+//     flat or byte-compressed CSR (internal/graph),
 //   - the LruTree one-pass working-set profiler, the SetAssoc baseline and
 //     the automatic task-coarsening pass (internal/profile,
 //     internal/coarsen),
@@ -138,6 +140,15 @@ type (
 	PageRankConfig = workload.PageRankConfig
 	// TrianglesConfig parameterises the triangle-counting kernel.
 	TrianglesConfig = workload.TrianglesConfig
+	// ConnectivityConfig parameterises the low-diameter-decomposition
+	// connected-components kernel.
+	ConnectivityConfig = workload.ConnectivityConfig
+	// KCoreConfig parameterises the bucketed-peeling k-core kernel.
+	KCoreConfig = workload.KCoreConfig
+	// MISConfig parameterises the maximal-independent-set kernel.
+	MISConfig = workload.MISConfig
+	// MatchingConfig parameterises the maximal-matching kernel.
+	MatchingConfig = workload.MatchingConfig
 
 	// ProfileConfig configures a working-set profiling pass.
 	ProfileConfig = profile.Config
@@ -373,6 +384,19 @@ func NewPageRank(cfg PageRankConfig) Workload { return workload.NewPageRank(cfg)
 
 // NewTriangles constructs the triangle-counting benchmark.
 func NewTriangles(cfg TrianglesConfig) Workload { return workload.NewTriangles(cfg) }
+
+// NewConnectivity constructs the low-diameter-decomposition
+// connected-components benchmark.
+func NewConnectivity(cfg ConnectivityConfig) Workload { return workload.NewConnectivity(cfg) }
+
+// NewKCore constructs the bucketed-peeling k-core benchmark.
+func NewKCore(cfg KCoreConfig) Workload { return workload.NewKCore(cfg) }
+
+// NewMIS constructs the random-priority maximal-independent-set benchmark.
+func NewMIS(cfg MISConfig) Workload { return workload.NewMIS(cfg) }
+
+// NewMatching constructs the random-priority maximal-matching benchmark.
+func NewMatching(cfg MatchingConfig) Workload { return workload.NewMatching(cfg) }
 
 // WorkloadNames lists the available benchmarks.
 func WorkloadNames() []string { return workload.Names() }

@@ -52,8 +52,8 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeConstructors(t *testing.T) {
-	// The regular suite plus the four graph kernels.
-	if len(WorkloadNames()) != 11 {
+	// The regular suite plus the eight graph kernels.
+	if len(WorkloadNames()) != 15 {
 		t.Fatalf("WorkloadNames = %v", WorkloadNames())
 	}
 	for _, name := range WorkloadNames() {

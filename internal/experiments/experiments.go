@@ -50,6 +50,11 @@ type Options struct {
 	// with a disk-backed cache, across processes). Repeated runs of the
 	// same figure at the same options are then near-instant.
 	Cache sweep.Cache
+	// GraphRepr selects the host representation the graph kernels walk:
+	// graph.ReprFlat (the default) or graph.ReprCompressed.  The emitted
+	// DAGs are bit-identical either way; the knob trades host memory for
+	// decode time and is what lets 2^22+-vertex RMAT inputs fit.
+	GraphRepr string
 }
 
 // effectiveScale returns the configuration scale factor for the options.
@@ -133,7 +138,11 @@ func (o Options) graphShape(kernel, family string) workload.GraphShape {
 	case "triangles":
 		verts = 1 << 14
 	}
-	shape := workload.GraphShape{Family: family, Vertices: imath.Max(1<<11, verts/o.quickDiv())}
+	shape := workload.GraphShape{
+		Family:         family,
+		Vertices:       imath.Max(1<<11, verts/o.quickDiv()),
+		Representation: o.GraphRepr,
+	}
 	if o.Quick {
 		// Keep several tasks per frontier on the shrunken graphs so the
 		// schedulers still have co-scheduling decisions to make.
@@ -160,6 +169,18 @@ func (o Options) graphWorkload(kernel, family string) (workload.Workload, string
 	case "triangles":
 		w := workload.NewTriangles(workload.TrianglesConfig{Shape: shape})
 		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "connectivity":
+		w := workload.NewConnectivity(workload.ConnectivityConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "kcore":
+		w := workload.NewKCore(workload.KCoreConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "mis":
+		w := workload.NewMIS(workload.MISConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
+	case "matching":
+		w := workload.NewMatching(workload.MatchingConfig{Shape: shape})
+		return w, fmt.Sprintf("%+v", w.Config()), nil
 	default:
 		return nil, "", fmt.Errorf("experiments: unknown graph kernel %q", kernel)
 	}
@@ -167,7 +188,9 @@ func (o Options) graphWorkload(kernel, family string) (workload.Workload, string
 
 // GraphKernels lists the irregular graph workloads, in the order the
 // irregularity figure reports them.
-func GraphKernels() []string { return []string{"bfs", "sssp", "pagerank", "triangles"} }
+func GraphKernels() []string {
+	return []string{"bfs", "sssp", "pagerank", "triangles", "connectivity", "kcore", "mis", "matching"}
+}
 
 // workloadSpec is the single point deciding both the inputs a named
 // benchmark is built with and the canonical fingerprint of those inputs —
@@ -190,7 +213,7 @@ func (o Options) workloadSpec(name string, cfg config.CMP) (build sweep.BuildFun
 	case "lu":
 		c := o.luConfig()
 		return dagOf(workload.NewLU(c)), fmt.Sprintf("%+v", c), nil
-	case "bfs", "sssp", "pagerank", "triangles":
+	case "bfs", "sssp", "pagerank", "triangles", "connectivity", "kcore", "mis", "matching":
 		return o.graphSpec(name, "")
 	default:
 		// The remaining benchmarks take no Options-dependent inputs.

@@ -19,19 +19,19 @@ import (
 // frontier slots it reads, the CSR offset and edge lines of its vertices,
 // and the *scattered* distance-vector lines of every neighbour it inspects,
 // writing the slots of newly discovered vertices and the next frontier.
-func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
+func BFS(g Graph, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 	c := costs.withDefaults()
 	if err := checkSource(g, source); err != nil {
 		return nil, nil, fmt.Errorf("graph: bfs: %w", err)
 	}
 	levels, discoverer := bfsLevels(g, source)
 
-	d := dag.New(fmt.Sprintf("bfs-%s", g.Name))
+	d := dag.New(fmt.Sprintf("bfs-%s", g.GraphName()))
 	tree := taskgroup.New("bfs")
 
 	// Initialisation: write the distance vector and the first frontier.
 	init := newTrace(c)
-	init.span(distAddr(0), g.N*vertexEntryBytes, true, 1)
+	init.span(distAddr(0), g.NumVertices()*vertexEntryBytes, true, 1)
 	init.touch(frontAddr(0, 0), true, c.InstrsPerVertex)
 	initTask := d.AddTask("bfs-init", init.gen(c.SpawnInstrs))
 	initTask.Site = "graph/bfs.go:init"
@@ -44,6 +44,7 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 	// finalised stream into its arena, so the accumulation buffer is reused
 	// across chunks.
 	tr := newTrace(c)
+	var adj []int32
 	for level, frontier := range levels {
 		d.RecordMetric(fmt.Sprintf("bfs.frontier.level_%02d.vertices", level), int64(len(frontier)))
 		parity := level % 2
@@ -62,8 +63,11 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 				tr.touch(frontAddr(parity, i), false, c.InstrsPerVertex)
 				tr.touch(offsetAddr(u), false, 0)
 				tr.touch(offsetAddr(u+1), false, 0)
-				for j := g.Offsets[u]; j < g.Offsets[u+1]; j++ {
-					v := int64(g.Edges[j])
+				adj = g.AdjInto(u, adj)
+				j0 := g.FirstEdge(u)
+				for k, w := range adj {
+					j := j0 + int64(k)
+					v := int64(w)
 					tr.touch(edgeAddr(j), false, c.InstrsPerEdge)
 					tr.touch(distAddr(v), false, 0)
 					if discoverer[v] == j {
@@ -104,24 +108,27 @@ func BFS(g *CSR, source int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 // index of the edge that discovered it (-1 for the source and unreached
 // vertices) — the tie-break a deterministic parallel BFS with in-order
 // claiming would produce.
-func bfsLevels(g *CSR, source int64) (levels [][]int32, discoverer []int64) {
-	discoverer = make([]int64, g.N)
-	seen := make([]bool, g.N)
+func bfsLevels(g Graph, source int64) (levels [][]int32, discoverer []int64) {
+	n := g.NumVertices()
+	discoverer = make([]int64, n)
+	seen := make([]bool, n)
 	for i := range discoverer {
 		discoverer[i] = -1
 	}
 	seen[source] = true
 	frontier := []int32{int32(source)}
+	var adj []int32
 	for len(frontier) > 0 {
 		levels = append(levels, frontier)
 		var next []int32
 		for _, u32 := range frontier {
 			u := int64(u32)
-			for j := g.Offsets[u]; j < g.Offsets[u+1]; j++ {
-				v := g.Edges[j]
+			adj = g.AdjInto(u, adj)
+			j0 := g.FirstEdge(u)
+			for k, v := range adj {
 				if !seen[v] {
 					seen[v] = true
-					discoverer[v] = j
+					discoverer[v] = j0 + int64(k)
 					next = append(next, v)
 				}
 			}
@@ -132,9 +139,9 @@ func bfsLevels(g *CSR, source int64) (levels [][]int32, discoverer []int64) {
 }
 
 // checkSource validates a source vertex.
-func checkSource(g *CSR, source int64) error {
-	if source < 0 || source >= g.N {
-		return fmt.Errorf("source %d out of range [0, %d)", source, g.N)
+func checkSource(g Graph, source int64) error {
+	if source < 0 || source >= g.NumVertices() {
+		return fmt.Errorf("source %d out of range [0, %d)", source, g.NumVertices())
 	}
 	return nil
 }

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Representation names returned by Graph.Repr and accepted by the workload
+// layer's GraphShape.Representation.
+const (
+	ReprFlat       = "flat"       // CSR: int64 offsets + int32 edge array
+	ReprCompressed = "compressed" // CompressedCSR: varint-delta byte codec
+)
+
+// Graph is the representation-independent view the kernels walk.  Both the
+// flat CSR and the byte-compressed CompressedCSR implement it, and both
+// expose the *same logical layout*: FirstEdge/Degree index into the flat
+// edge array even when the bytes on the host are compressed.  Kernels
+// reconstruct absolute edge indices as FirstEdge(v)+k while iterating the
+// decoded adjacency, so the simulated address trace models the flat CSR
+// arrays regardless of host representation — which is exactly what makes
+// the flat-vs-compressed differential fingerprints byte-identical.
+type Graph interface {
+	// GraphName identifies the generated instance (same string for both
+	// representations of one instance).
+	GraphName() string
+	// NumVertices returns the vertex count.
+	NumVertices() int64
+	// NumEdges returns the number of directed edge slots.
+	NumEdges() int64
+	// Degree returns the degree of v.
+	Degree(v int64) int64
+	// FirstEdge returns the logical index of v's first edge in the flat
+	// edge array.
+	FirstEdge(v int64) int64
+	// AdjInto returns the sorted neighbour list of v.  The flat CSR returns
+	// a zero-copy view into its edge array (buf is ignored); the compressed
+	// form decodes into buf (grown as needed).  Callers keep the idiom
+	// adj = g.AdjInto(v, adj) and must not retain adj across calls.
+	AdjInto(v int64, buf []int32) []int32
+	// SizeBytes returns the host memory footprint of the representation.
+	SizeBytes() int64
+	// Repr returns ReprFlat or ReprCompressed.
+	Repr() string
+}
+
+// GraphName returns the instance name (Graph interface).
+func (g *CSR) GraphName() string { return g.Name }
+
+// NumVertices returns the vertex count (Graph interface).
+func (g *CSR) NumVertices() int64 { return g.N }
+
+// FirstEdge returns the index of v's first edge (Graph interface).
+func (g *CSR) FirstEdge(v int64) int64 { return g.Offsets[v] }
+
+// AdjInto returns v's neighbour list as a zero-copy view into Edges; buf is
+// ignored (Graph interface).
+func (g *CSR) AdjInto(v int64, _ []int32) []int32 { return g.Adj(v) }
+
+// SizeBytes returns the flat representation's host footprint (Graph
+// interface).
+func (g *CSR) SizeBytes() int64 {
+	return int64(len(g.Offsets))*8 + int64(len(g.Edges))*4
+}
+
+// Repr returns ReprFlat (Graph interface).
+func (g *CSR) Repr() string { return ReprFlat }
+
+// CompressedCSR is the Ligra+-style byte-compressed adjacency structure:
+// each vertex's sorted neighbour list is stored as varint deltas — the first
+// neighbour as a zigzag delta from the source vertex id, each subsequent
+// neighbour as (next − prev − 1) — with a per-vertex byte offset for O(1)
+// random access and a logical (flat) edge offset so kernels can address the
+// simulated flat edge array.  Undirected deg-8 RMAT compresses to roughly a
+// third of the flat bytes/edge; see ARCHITECTURE.md.
+type CompressedCSR struct {
+	name    string
+	n       int64
+	offsets []int32  // logical flat-edge offsets, n+1 entries
+	byteOff []uint32 // byte offsets into data, n+1 entries
+	data    []byte   // varint-delta encoded neighbour lists
+}
+
+// zigzag maps a signed delta to an unsigned varint payload.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Compress encodes g into the byte-compressed representation.  It fails if
+// the edge count overflows the int32 logical-offset table or the byte stream
+// overflows the uint32 byte-offset table, and verifies every vertex's list
+// round-trips through the decoder before returning.
+func Compress(g *CSR) (*CompressedCSR, error) {
+	if int64(len(g.Edges)) > 1<<31-1 {
+		return nil, fmt.Errorf("graph: compress: %d edges overflow the int32 offset table", len(g.Edges))
+	}
+	c := &CompressedCSR{
+		name:    g.Name,
+		n:       g.N,
+		offsets: make([]int32, g.N+1),
+		byteOff: make([]uint32, g.N+1),
+		// At deg-8 the deltas average under 3 bytes; reserve half the flat
+		// edge bytes and let append grow the rest.
+		data: make([]byte, 0, len(g.Edges)*2),
+	}
+	for v := int64(0); v < g.N; v++ {
+		adj := g.Adj(v)
+		c.offsets[v] = int32(g.Offsets[v])
+		c.byteOff[v] = uint32(len(c.data))
+		if len(adj) > 0 {
+			c.data = binary.AppendUvarint(c.data, zigzag(int64(adj[0])-v))
+			prev := int64(adj[0])
+			for _, w := range adj[1:] {
+				c.data = binary.AppendUvarint(c.data, uint64(int64(w)-prev-1))
+				prev = int64(w)
+			}
+		}
+		if int64(len(c.data)) > 1<<32-1 {
+			return nil, fmt.Errorf("graph: compress: byte stream overflows the uint32 offset table at vertex %d", v)
+		}
+	}
+	c.offsets[g.N] = int32(g.Offsets[g.N])
+	c.byteOff[g.N] = uint32(len(c.data))
+	c.data = c.data[:len(c.data):len(c.data)]
+	// Verify the roundtrip once at build time so AdjInto can trust the
+	// stream unconditionally on the hot path.
+	var buf []int32
+	for v := int64(0); v < g.N; v++ {
+		buf = c.AdjInto(v, buf)
+		want := g.Adj(v)
+		if len(buf) != len(want) {
+			return nil, fmt.Errorf("graph: compress: vertex %d decodes %d neighbours, want %d", v, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				return nil, fmt.Errorf("graph: compress: vertex %d neighbour %d decodes to %d, want %d", v, i, buf[i], want[i])
+			}
+		}
+	}
+	return c, nil
+}
+
+// GraphName returns the instance name — identical to the flat CSR it was
+// compressed from (Graph interface).
+func (c *CompressedCSR) GraphName() string { return c.name }
+
+// NumVertices returns the vertex count (Graph interface).
+func (c *CompressedCSR) NumVertices() int64 { return c.n }
+
+// NumEdges returns the number of directed edge slots (Graph interface).
+func (c *CompressedCSR) NumEdges() int64 { return int64(c.offsets[c.n]) }
+
+// Degree returns the degree of v (Graph interface).
+func (c *CompressedCSR) Degree(v int64) int64 { return int64(c.offsets[v+1] - c.offsets[v]) }
+
+// FirstEdge returns the logical flat-edge index of v's first edge (Graph
+// interface).
+func (c *CompressedCSR) FirstEdge(v int64) int64 { return int64(c.offsets[v]) }
+
+// AdjInto decodes v's neighbour list into buf (grown as needed) and returns
+// it.  The stream was verified at Compress time, so a decode failure here is
+// internal corruption and panics.
+func (c *CompressedCSR) AdjInto(v int64, buf []int32) []int32 {
+	out, _, err := DecodeAdjInto(buf[:0], v, c.n, c.Degree(v), c.data[c.byteOff[v]:c.byteOff[v+1]])
+	if err != nil {
+		panic(fmt.Sprintf("graph: compressed stream corrupt at vertex %d: %v", v, err))
+	}
+	return out
+}
+
+// SizeBytes returns the compressed representation's host footprint (Graph
+// interface).
+func (c *CompressedCSR) SizeBytes() int64 {
+	return int64(len(c.offsets))*4 + int64(len(c.byteOff))*4 + int64(len(c.data))
+}
+
+// Repr returns ReprCompressed (Graph interface).
+func (c *CompressedCSR) Repr() string { return ReprCompressed }
+
+// BytesPerEdge returns the host bytes per directed edge slot of any
+// representation (offset tables included), the headline compression metric.
+func BytesPerEdge(g Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	return float64(g.SizeBytes()) / float64(g.NumEdges())
+}
+
+// DecodeAdjInto decodes deg varint-delta neighbours of source from data,
+// appending them to dst.  It returns the extended slice and the number of
+// bytes consumed.  Corrupt or truncated input returns an error — the decoder
+// never panics and never reads past len(data):
+//   - every varint must terminate within the input (and within 10 bytes),
+//   - every decoded neighbour must lie in [0, n),
+//   - neighbours are strictly increasing by construction (deltas are
+//     non-negative), so overflow past n−1 is the only monotonicity failure.
+func DecodeAdjInto(dst []int32, source, n, deg int64, data []byte) ([]int32, int, error) {
+	if deg < 0 || n <= 0 {
+		return dst, 0, fmt.Errorf("graph: decode: invalid shape deg=%d n=%d", deg, n)
+	}
+	pos := 0
+	prev := int64(0)
+	for k := int64(0); k < deg; k++ {
+		u, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 {
+			return dst, pos, fmt.Errorf("graph: decode: truncated or overlong varint for neighbour %d of %d at byte %d", k, deg, pos)
+		}
+		pos += sz
+		var v int64
+		if k == 0 {
+			v = source + unzigzag(u)
+		} else {
+			d := int64(u)
+			if d < 0 { // u overflowed int64
+				return dst, pos, fmt.Errorf("graph: decode: delta overflow for neighbour %d", k)
+			}
+			v = prev + d + 1
+		}
+		if v < 0 || v >= n {
+			return dst, pos, fmt.Errorf("graph: decode: neighbour %d decodes to %d, outside [0, %d)", k, v, n)
+		}
+		dst = append(dst, int32(v))
+		prev = v
+	}
+	return dst, pos, nil
+}

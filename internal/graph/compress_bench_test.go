@@ -1,0 +1,67 @@
+package graph
+
+import "testing"
+
+// Neighbour-walk microbenchmarks: the raw cost of iterating every adjacency
+// list through the Graph interface, flat (zero-copy slice views) versus
+// compressed (varint-delta decode into a reused buffer).  The bytes/edge
+// metric reports the host footprint each walk touches.
+
+func benchmarkAdjWalk(b *testing.B, g Graph) {
+	b.Helper()
+	n := g.NumVertices()
+	var adj []int32
+	var sum int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := int64(0); v < n; v++ {
+			adj = g.AdjInto(v, adj)
+			for _, w := range adj {
+				sum += int64(w)
+			}
+		}
+	}
+	b.StopTimer()
+	if sum == 42 { // keep the walk from being optimised away
+		b.Log(sum)
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/walk")
+	b.ReportMetric(BytesPerEdge(g), "B/edge")
+}
+
+func walkFixture(b *testing.B) *CSR {
+	b.Helper()
+	g, err := New(Config{Family: FamilyRMAT, Vertices: 1 << 16, AvgDegree: 8, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkAdjWalkFlat(b *testing.B) {
+	benchmarkAdjWalk(b, walkFixture(b))
+}
+
+func BenchmarkAdjWalkCompressed(b *testing.B) {
+	c, err := Compress(walkFixture(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkAdjWalk(b, c)
+}
+
+func BenchmarkCompress(b *testing.B) {
+	g := walkFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := Compress(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(BytesPerEdge(c), "B/edge")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestCompressRoundtripAllFamilies(t *testing.T) {
+	for _, family := range Families() {
+		g := mustNew(t, Config{Family: family, Vertices: 1 << 12, AvgDegree: 8, Seed: 9})
+		c, err := Compress(g)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if c.GraphName() != g.GraphName() || c.NumVertices() != g.N || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: shape mismatch after compression", family)
+		}
+		var buf []int32
+		for v := int64(0); v < g.N; v++ {
+			if c.Degree(v) != g.Degree(v) || c.FirstEdge(v) != g.FirstEdge(v) {
+				t.Fatalf("%s: degree/offset mismatch at vertex %d", family, v)
+			}
+			buf = c.AdjInto(v, buf)
+			want := g.Adj(v)
+			if len(buf) != len(want) {
+				t.Fatalf("%s: vertex %d decodes %d neighbours, want %d", family, v, len(buf), len(want))
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("%s: vertex %d neighbour %d = %d, want %d", family, v, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompressShrinksGeneratedGraphs(t *testing.T) {
+	for _, family := range Families() {
+		g := mustNew(t, Config{Family: family, Vertices: 1 << 12, AvgDegree: 8, Seed: 9})
+		c, err := Compress(g)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if c.SizeBytes() >= g.SizeBytes() {
+			t.Errorf("%s: compressed %d bytes >= flat %d bytes", family, c.SizeBytes(), g.SizeBytes())
+		}
+		fb, cb := BytesPerEdge(g), BytesPerEdge(c)
+		t.Logf("%s: %.2f B/edge flat, %.2f B/edge compressed (%.1f%%)", family, fb, cb, 100*cb/fb)
+		if cb <= 0 || cb >= fb {
+			t.Errorf("%s: bytes/edge did not improve: flat %.2f, compressed %.2f", family, fb, cb)
+		}
+	}
+}
+
+func TestCompressEmptyAndIsolated(t *testing.T) {
+	g := fromPairs(5, nil) // five isolated vertices, zero edges
+	g.Name = "isolated-5"
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() != 0 {
+		t.Fatalf("edge count %d, want 0", c.NumEdges())
+	}
+	for v := int64(0); v < 5; v++ {
+		if adj := c.AdjInto(v, nil); len(adj) != 0 {
+			t.Fatalf("vertex %d decodes %d neighbours, want 0", v, len(adj))
+		}
+	}
+	if BytesPerEdge(c) != 0 {
+		t.Fatalf("BytesPerEdge of an edgeless graph = %f, want 0", BytesPerEdge(c))
+	}
+}
+
+func TestDecodeAdjIntoErrors(t *testing.T) {
+	// A valid stream to mutate: vertex 4 in an n=16 graph with neighbours
+	// {1, 3, 9}: zigzag(1-4)=zigzag(-3), then deltas 3-1-1=1 and 9-3-1=5.
+	valid := binary.AppendUvarint(nil, zigzag(-3))
+	valid = binary.AppendUvarint(valid, 1)
+	valid = binary.AppendUvarint(valid, 5)
+
+	check := func(name string, source, n, deg int64, data []byte, wantErr string) {
+		t.Helper()
+		out, consumed, err := DecodeAdjInto(nil, source, n, deg, data)
+		if wantErr == "" {
+			if err != nil {
+				t.Fatalf("%s: unexpected error: %v", name, err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("%s: decoded %v without error, want %q", name, out, wantErr)
+		}
+		if !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+		if consumed > len(data) {
+			t.Fatalf("%s: consumed %d bytes of %d", name, consumed, len(data))
+		}
+	}
+
+	check("valid", 4, 16, 3, valid, "")
+	check("truncated mid-varint", 4, 16, 3, valid[:1], "truncated")
+	check("truncated missing neighbour", 4, 16, 3, valid[:2], "truncated")
+	check("empty stream nonzero degree", 4, 16, 1, nil, "truncated")
+	check("neighbour past n", 4, 8, 3, valid, "outside")
+	check("negative first neighbour", 0, 16, 1, binary.AppendUvarint(nil, zigzag(-1)), "outside")
+	check("negative degree", 4, 16, -1, valid, "invalid shape")
+	check("zero vertices", 0, 0, 0, nil, "invalid shape")
+	// Ten 0xFF bytes followed by 0x7F: a varint wider than 64 bits, which
+	// binary.Uvarint reports as overlong (sz < 0).
+	over := append([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 0x7F)
+	check("overlong varint", 4, 16, 1, over, "truncated or overlong")
+	// Max uvarint as a follow-on delta overflows int64.
+	big := binary.AppendUvarint(binary.AppendUvarint(nil, zigzag(0)), ^uint64(0))
+	check("delta overflow", 4, 16, 2, big, "overflow")
+}
+
+func TestCompressMinimalCSR(t *testing.T) {
+	// The degenerate one-vertex, one-self-loop CSR compresses and verifies.
+	g := &CSR{Name: "tiny", N: 1, Offsets: []int64{0, 1}, Edges: make([]int32, 1)}
+	if _, err := Compress(g); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestAdjIntoBufferReuse(t *testing.T) {
+	g := mustNew(t, Config{Family: FamilyUniform, Vertices: 1 << 8, AvgDegree: 8, Seed: 2})
+	c, err := Compress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shared buffer across calls must yield the same lists as fresh ones.
+	var shared []int32
+	for v := int64(0); v < g.N; v++ {
+		shared = c.AdjInto(v, shared)
+		fresh := c.AdjInto(v, nil)
+		if len(shared) != len(fresh) {
+			t.Fatalf("vertex %d: reused buffer len %d, fresh %d", v, len(shared), len(fresh))
+		}
+		for i := range shared {
+			if shared[i] != fresh[i] {
+				t.Fatalf("vertex %d neighbour %d differs under buffer reuse", v, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzDecodeAdj drives the varint-delta decoder with arbitrary byte streams
+// and shape parameters.  The decoder's contract under fuzzing:
+//
+//  1. It never panics and never reads past len(data), however corrupt the
+//     input (the consumed-byte count stays within bounds).
+//  2. On success every neighbour lies in [0, n) and, past the first, the list
+//     is strictly increasing (deltas encode next−prev−1 ≥ 0).
+//  3. A list the fuzzer can derive from the raw bytes re-encodes and decodes
+//     back to itself exactly (roundtrip through the production encoder).
+func FuzzDecodeAdj(f *testing.F) {
+	f.Add(int64(4), int64(16), int64(3), []byte{0x05, 0x01, 0x05})
+	f.Add(int64(0), int64(1), int64(1), []byte{0x00})
+	f.Add(int64(7), int64(8), int64(2), []byte{0x0D, 0x00})
+	f.Add(int64(0), int64(1<<30), int64(1), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add(int64(3), int64(100), int64(5), []byte{})
+	f.Add(int64(1), int64(2), int64(1), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, source, n, deg int64, data []byte) {
+		if deg > int64(len(data))+1 {
+			deg = int64(len(data)) + 1 // cap the work; every neighbour needs ≥1 byte
+		}
+		out, consumed, err := DecodeAdjInto(nil, source, n, deg, data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d bytes of %d", consumed, len(data))
+		}
+		if err != nil {
+			return
+		}
+		if int64(len(out)) != deg {
+			t.Fatalf("decoded %d neighbours, want %d", len(out), deg)
+		}
+		for i, v := range out {
+			if int64(v) < 0 || int64(v) >= n {
+				t.Fatalf("neighbour %d = %d outside [0, %d)", i, v, n)
+			}
+			if i > 0 && out[i] <= out[i-1] {
+				t.Fatalf("neighbours not strictly increasing: out[%d]=%d, out[%d]=%d",
+					i-1, out[i-1], i, out[i])
+			}
+		}
+
+		// Roundtrip: re-encode the decoded list with the production scheme
+		// and decode again; the lists must match.  (The bytes themselves may
+		// differ — binary.Uvarint accepts non-minimal varint encodings.)
+		enc := encodeAdj(nil, source, out)
+		again, _, err := DecodeAdjInto(nil, source, n, deg, enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range out {
+			if again[i] != out[i] {
+				t.Fatalf("roundtrip diverged at neighbour %d: %d vs %d", i, out[i], again[i])
+			}
+		}
+	})
+}
+
+// encodeAdj is the reference encoder for a sorted neighbour list, mirroring
+// the scheme in Compress: first neighbour zigzag-from-source, then
+// (next − prev − 1) unsigned deltas.
+func encodeAdj(dst []byte, source int64, adj []int32) []byte {
+	if len(adj) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, zigzag(int64(adj[0])-source))
+	prev := int64(adj[0])
+	for _, w := range adj[1:] {
+		dst = binary.AppendUvarint(dst, uint64(int64(w)-prev-1))
+		prev = int64(w)
+	}
+	return dst
+}
+
+// FuzzEncodeDecodeAdj fuzzes from the other direction: derive a sorted,
+// duplicate-free neighbour list from arbitrary bytes, encode it with the
+// production scheme, and require an exact decode.
+func FuzzEncodeDecodeAdj(f *testing.F) {
+	f.Add(int64(0), uint16(64), []byte{1, 2, 3, 4})
+	f.Add(int64(100), uint16(1000), []byte{0xFF, 0x00, 0x80, 0x7F, 0x01})
+	f.Add(int64(5), uint16(6), []byte{})
+
+	f.Fuzz(func(t *testing.T, source int64, n16 uint16, raw []byte) {
+		n := int64(n16) + 1
+		// Unsigned modulo maps any input (including MinInt64, which ordinary
+		// negation can't fix) into [0, n).
+		source = int64(uint64(source) % uint64(n))
+		seen := make(map[int32]bool)
+		for i := 0; i+1 < len(raw); i += 2 {
+			v := int32(uint32(raw[i])<<8|uint32(raw[i+1])) % int32(n)
+			seen[v] = true
+		}
+		adj := make([]int32, 0, len(seen))
+		for v := range seen {
+			adj = append(adj, v)
+		}
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+
+		enc := encodeAdj(nil, source, adj)
+		out, consumed, err := DecodeAdjInto(nil, source, n, int64(len(adj)), enc)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded list failed: %v", err)
+		}
+		if consumed != len(enc) {
+			t.Fatalf("consumed %d of %d encoded bytes", consumed, len(enc))
+		}
+		if len(out) != len(adj) {
+			t.Fatalf("decoded %d neighbours, want %d", len(out), len(adj))
+		}
+		for i := range adj {
+			if out[i] != adj[i] {
+				t.Fatalf("neighbour %d: decoded %d, want %d", i, out[i], adj[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"cmpsched/internal/dag"
+	"cmpsched/internal/taskgroup"
+)
+
+// Small adversarial graphs for the reference-implementation tests: extreme
+// degree skew (star), maximal diameter (path), maximal density (clique), a
+// disconnected union with isolated vertices, and a duplicate-heavy edge list
+// the generator pipeline must deduplicate.
+func adversarialGraphs() map[string]*CSR {
+	star := fromPairs(9, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}})
+	star.Name = "star-9"
+
+	path := fromPairs(12, [][2]int32{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 10}, {10, 11},
+	})
+	path.Name = "path-12"
+
+	var cliquePairs [][2]int32
+	for i := int32(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			cliquePairs = append(cliquePairs, [2]int32{i, j})
+		}
+	}
+	clique := fromPairs(6, cliquePairs)
+	clique.Name = "clique-6"
+
+	// Two components (a triangle and a 4-cycle) plus two isolated vertices.
+	disc := fromPairs(9, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}})
+	disc.Name = "disconnected-9"
+
+	// Duplicate edges (and reversed duplicates) collapse to a self-loop-free
+	// simple triangle plus a pendant.
+	dup := fromPairs(4, [][2]int32{{0, 1}, {1, 0}, {0, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 3}, {3, 2}})
+	dup.Name = "duplicates-4"
+
+	return map[string]*CSR{"star": star, "path": path, "clique": clique, "disconnected": disc, "duplicates": dup}
+}
+
+// refComponents labels components with a serial union-find.
+func refComponents(g *CSR) []int64 {
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(x int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := int64(0); v < g.N; v++ {
+		for _, w := range g.Adj(v) {
+			a, b := find(v), find(int64(w))
+			if a != b {
+				parent[b] = a
+			}
+		}
+	}
+	out := make([]int64, g.N)
+	for v := int64(0); v < g.N; v++ {
+		out[v] = find(v)
+	}
+	return out
+}
+
+// samePartition reports whether two labellings induce the same partition.
+func samePartition(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int64]int64)
+	rev := make(map[int64]int64)
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+// refCores computes core numbers with the textbook serial peeler: repeatedly
+// remove a minimum-degree vertex; its coreness is the running maximum of the
+// minimum degree seen.
+func refCores(g *CSR) []int64 {
+	deg := make([]int64, g.N)
+	alive := make([]bool, g.N)
+	for v := int64(0); v < g.N; v++ {
+		deg[v] = g.Degree(v)
+		alive[v] = true
+	}
+	core := make([]int64, g.N)
+	var k int64
+	for removed := int64(0); removed < g.N; removed++ {
+		best := int64(-1)
+		for v := int64(0); v < g.N; v++ {
+			if alive[v] && (best == -1 || deg[v] < deg[best]) {
+				best = v
+			}
+		}
+		if deg[best] > k {
+			k = deg[best]
+		}
+		core[best] = k
+		alive[best] = false
+		for _, w := range g.Adj(best) {
+			if alive[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+// checkKernelAny runs the full structural checks on generated graphs and a
+// relaxed variant (no parallelism assertion — a handful of vertices can
+// legitimately serialize) on the tiny adversarial graphs.
+func checkKernelAny(t *testing.T, name string, g *CSR, d *dag.DAG, tree *taskgroup.Tree) {
+	t.Helper()
+	if g.N >= 1<<8 {
+		checkKernel(t, name, d, tree)
+		return
+	}
+	checkKernelRelaxed(t, name, d, tree)
+}
+
+// checkKernelRelaxed is checkKernel without the parallelism assertion, for
+// DAGs that legitimately serialize (tiny graphs, or wavefront peeling on the
+// grid where every cascade frontier fits in a single chunk).
+func checkKernelRelaxed(t *testing.T, name string, d *dag.DAG, tree *taskgroup.Tree) {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("%s: invalid DAG: %v", name, err)
+	}
+	if _, err := d.TopologicalCheck(); err != nil {
+		t.Fatalf("%s: cyclic DAG: %v", name, err)
+	}
+	if d.TotalInstrs() <= 0 || d.TotalRefs() <= 0 {
+		t.Fatalf("%s: DAG has no work", name)
+	}
+	if tree == nil || tree.Root.First != 0 || int(tree.Root.Last) != d.NumTasks()-1 {
+		t.Fatalf("%s: group tree does not cover the DAG", name)
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*CSR {
+	t.Helper()
+	gs := adversarialGraphs()
+	for _, family := range Families() {
+		gs["gen-"+family] = testGraph(t, family)
+	}
+	return gs
+}
+
+func TestConnectivityMatchesUnionFind(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		d, tree, labels, err := Connectivity(g, 7, tinyCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkKernelAny(t, "connectivity-"+name, g, d, tree)
+		if want := refComponents(g); !samePartition(labels, want) {
+			t.Errorf("%s: connectivity labelling does not match union-find", name)
+		}
+	}
+}
+
+func TestConnectivityDeterministic(t *testing.T) {
+	g := testGraph(t, FamilyRMAT)
+	d1, _, l1, err := Connectivity(g, 5, tinyCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, l2, err := Connectivity(g, 5, tinyCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumTasks() != d2.NumTasks() {
+		t.Fatalf("task counts differ: %d vs %d", d1.NumTasks(), d2.NumTasks())
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}
+
+func TestKCoreMatchesReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		d, tree, core, err := KCore(g, tinyCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "gen-grid" {
+			// The 2D grid peels as a diagonal wavefront whose frontiers all
+			// fit in one chunk at test sizes, so this DAG is a chain.
+			checkKernelRelaxed(t, "kcore-"+name, d, tree)
+		} else {
+			checkKernelAny(t, "kcore-"+name, g, d, tree)
+		}
+		want := refCores(g)
+		for v := range core {
+			if core[v] != want[v] {
+				t.Fatalf("%s: core[%d] = %d, want %d", name, v, core[v], want[v])
+			}
+		}
+	}
+}
+
+func TestKCoreKnownValues(t *testing.T) {
+	gs := adversarialGraphs()
+	// Every clique-6 vertex has coreness 5; every star leaf (and hence the
+	// center) peels at 1; path vertices all have coreness 1.
+	for v, c := range mustKCore(t, gs["clique"]) {
+		if c != 5 {
+			t.Errorf("clique core[%d] = %d, want 5", v, c)
+		}
+	}
+	for v, c := range mustKCore(t, gs["star"]) {
+		if c != 1 {
+			t.Errorf("star core[%d] = %d, want 1", v, c)
+		}
+	}
+}
+
+func mustKCore(t *testing.T, g *CSR) []int64 {
+	t.Helper()
+	_, _, core, err := KCore(g, tinyCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+func TestMISIsIndependentAndMaximal(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		d, tree, in, err := MIS(g, 11, tinyCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkKernelAny(t, "mis-"+name, g, d, tree)
+		for v := int64(0); v < g.N; v++ {
+			if in[v] {
+				for _, w := range g.Adj(v) {
+					if in[w] {
+						t.Fatalf("%s: adjacent vertices %d and %d both in MIS", name, v, w)
+					}
+				}
+				continue
+			}
+			covered := false
+			for _, w := range g.Adj(v) {
+				if in[w] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("%s: vertex %d outside the MIS has no MIS neighbour", name, v)
+			}
+		}
+	}
+}
+
+func TestMaximalMatchingIsValidAndMaximal(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		d, tree, match, err := MaximalMatching(g, 13, tinyCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkKernelAny(t, "matching-"+name, g, d, tree)
+		for v := int64(0); v < g.N; v++ {
+			w := match[v]
+			if w == -1 {
+				continue
+			}
+			if w < 0 || w >= g.N || w == v {
+				t.Fatalf("%s: match[%d] = %d out of range", name, v, w)
+			}
+			if match[w] != v {
+				t.Fatalf("%s: match[%d] = %d but match[%d] = %d", name, v, w, w, match[w])
+			}
+			adjacent := false
+			for _, x := range g.Adj(v) {
+				if int64(x) == w {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("%s: matched pair (%d, %d) is not an edge", name, v, w)
+			}
+		}
+		// Maximality: no edge has both endpoints unmatched.
+		for v := int64(0); v < g.N; v++ {
+			if match[v] != -1 {
+				continue
+			}
+			for _, w := range g.Adj(v) {
+				if match[w] == -1 {
+					t.Fatalf("%s: edge (%d, %d) has both endpoints unmatched", name, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestNewKernelsOnCompressedMatchHostResults(t *testing.T) {
+	// Host-side results must be representation-independent too, not just the
+	// traces (the differential suite covers those).
+	for _, family := range Families() {
+		g := testGraph(t, family)
+		cg, err := Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, lf, err := Connectivity(g, 7, tinyCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, lc, err := Connectivity(cg, 7, tinyCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range lf {
+			if lf[i] != lc[i] {
+				t.Fatalf("%s: connectivity labels diverge at %d", family, i)
+			}
+		}
+		_, _, kf, err := KCore(g, tinyCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, kc, err := KCore(cg, tinyCosts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range kf {
+			if kf[i] != kc[i] {
+				t.Fatalf("%s: core numbers diverge at %d", family, i)
+			}
+		}
+	}
+}
+
+func TestNewKernelMetricsRecorded(t *testing.T) {
+	g := testGraph(t, FamilyUniform)
+	d, _, _, err := Connectivity(g, 7, tinyCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"conn.levels", "conn.rounds", "conn.components"} {
+		if _, ok := d.Metrics()[m]; !ok {
+			t.Errorf("connectivity DAG missing metric %q (have %v)", m, d.Metrics())
+		}
+	}
+	d, _, _, err = KCore(g, tinyCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Metrics()["kcore.max_core"]; !ok {
+		t.Errorf("kcore DAG missing kcore.max_core")
+	}
+}
+
+func TestConnectivityComponentCounts(t *testing.T) {
+	gs := adversarialGraphs()
+	for name, wantComponents := range map[string]int{
+		"star": 1, "path": 1, "clique": 1, "disconnected": 4, "duplicates": 1,
+	} {
+		_, _, labels, err := Connectivity(gs[name], 3, tinyCosts())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		distinct := make(map[int64]bool)
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != wantComponents {
+			t.Errorf("%s: %d components, want %d", name, len(distinct), wantComponents)
+		}
+	}
+}
+
+func ExampleConnectivity() {
+	g := fromPairs(5, [][2]int32{{0, 1}, {1, 2}, {3, 4}})
+	g.Name = "example"
+	_, _, labels, _ := Connectivity(g, 1, Costs{})
+	fmt.Println(samePartition(labels, []int64{0, 0, 0, 1, 1}))
+	// Output: true
+}

@@ -18,28 +18,29 @@ import (
 // the offset (degree) entries of its neighbours — the scattered,
 // graph-dependent part of the access pattern — and writes its own vertices'
 // next ranks sequentially.
-func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
+func PageRank(g Graph, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree, error) {
 	c := costs.withDefaults()
 	if iterations <= 0 {
 		iterations = 8
 	}
 
-	d := dag.New(fmt.Sprintf("pagerank-%s", g.Name))
+	d := dag.New(fmt.Sprintf("pagerank-%s", g.GraphName()))
 	tree := taskgroup.New("pagerank")
 
 	init := newTrace(c)
-	init.span(rankAddr(0, 0), g.N*vertexEntryBytes, true, 1)
+	init.span(rankAddr(0, 0), g.NumVertices()*vertexEntryBytes, true, 1)
 	initTask := d.AddTask("pagerank-init", init.gen(c.SpawnInstrs))
 	initTask.Site = "graph/pagerank.go:init"
 	initTask.Param = float64(init.bytes())
 	tree.Own(tree.Root, initTask.ID)
 
-	chunks := chunk(g.N, c.EdgesPerTask, func(v int64) int64 { return 1 + g.Degree(v) })
+	chunks := chunk(g.NumVertices(), c.EdgesPerTask, func(v int64) int64 { return 1 + g.Degree(v) })
 	prevBarrier := initTask.ID
 	// Reused across gather tasks; the parity addressing makes iterations i and
 	// i+2 emit byte-identical chunk streams, which the interning store then
 	// collapses to one arena each.
 	tr := newTrace(c)
+	var adj []int32
 	for iter := int64(0); iter < iterations; iter++ {
 		parity := int(iter) % 2
 		group := tree.AddChild(tree.Root, fmt.Sprintf("pagerank-iter%d", iter), "graph/pagerank.go:iter", 0, int(iter))
@@ -51,8 +52,11 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 			for u := cr[0]; u < cr[1]; u++ {
 				tr.touch(offsetAddr(u), false, c.InstrsPerVertex)
 				tr.touch(offsetAddr(u+1), false, 0)
-				for j := g.Offsets[u]; j < g.Offsets[u+1]; j++ {
-					v := int64(g.Edges[j])
+				adj = g.AdjInto(u, adj)
+				j0 := g.FirstEdge(u)
+				for k, w := range adj {
+					j := j0 + int64(k)
+					v := int64(w)
 					tr.touch(edgeAddr(j), false, c.InstrsPerEdge)
 					// Gather rank(v)/degree(v) from the previous iteration.
 					tr.touch(rankAddr(parity, v), false, 0)
@@ -70,7 +74,7 @@ func PageRank(g *CSR, iterations int64, costs Costs) (*dag.DAG, *taskgroup.Tree,
 			chunkIDs = append(chunkIDs, t.ID)
 		}
 
-		barrier := d.AddComputeTask(fmt.Sprintf("pagerank-reduce%d", iter), c.SpawnInstrs+g.N/8)
+		barrier := d.AddComputeTask(fmt.Sprintf("pagerank-reduce%d", iter), c.SpawnInstrs+g.NumVertices()/8)
 		barrier.Site = "graph/pagerank.go:reduce"
 		barrier.Level = int(iter)
 		tree.Own(group, barrier.ID)

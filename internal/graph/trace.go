@@ -18,6 +18,16 @@ const (
 	baseRankA   uint64 = 0x26_0000_0000 // rank vector, even iterations
 	baseRankB   uint64 = 0x27_0000_0000 // rank vector, odd iterations
 	baseAccum   uint64 = 0x28_0000_0000 // per-task partial results
+	baseComp    uint64 = 0x29_0000_0000 // final component labels, 8 B entries
+	baseDeg     uint64 = 0x2A_0000_0000 // induced degrees / core numbers, 8 B
+	basePrio    uint64 = 0x2B_0000_0000 // per-vertex priorities / LDD shifts
+	baseState   uint64 = 0x2C_0000_0000 // per-vertex state flags, 8 B entries
+	baseMatch   uint64 = 0x2D_0000_0000 // matched-partner vector, 8 B entries
+	baseCOffA   uint64 = 0x2E_0000_0000 // contracted CSR offsets, even levels
+	baseCOffB   uint64 = 0x2F_0000_0000 // contracted CSR offsets, odd levels
+	baseCEdgeA  uint64 = 0x30_0000_0000 // contracted CSR edges, even levels
+	baseCEdgeB  uint64 = 0x31_0000_0000 // contracted CSR edges, odd levels
+	baseLabel   uint64 = 0x32_0000_0000 // per-level cluster labels, 8 B
 )
 
 const (
@@ -50,6 +60,24 @@ func rankBase(parity int) uint64 {
 func rankAddr(parity int, v int64) uint64 {
 	return rankBase(parity) + uint64(v)*vertexEntryBytes
 }
+func compAddr(v int64) uint64  { return baseComp + uint64(v)*vertexEntryBytes }
+func degAddr(v int64) uint64   { return baseDeg + uint64(v)*vertexEntryBytes }
+func prioAddr(v int64) uint64  { return basePrio + uint64(v)*vertexEntryBytes }
+func stateAddr(v int64) uint64 { return baseState + uint64(v)*vertexEntryBytes }
+func matchAddr(v int64) uint64 { return baseMatch + uint64(v)*vertexEntryBytes }
+func coffAddr(parity int, v int64) uint64 {
+	if parity%2 == 0 {
+		return baseCOffA + uint64(v)*offsetEntryBytes
+	}
+	return baseCOffB + uint64(v)*offsetEntryBytes
+}
+func cedgeAddr(parity int, j int64) uint64 {
+	if parity%2 == 0 {
+		return baseCEdgeA + uint64(j)*edgeEntryBytes
+	}
+	return baseCEdgeB + uint64(j)*edgeEntryBytes
+}
+func labelAddr(v int64) uint64 { return baseLabel + uint64(v)*vertexEntryBytes }
 
 // trace accumulates one task's memory references at cache-line granularity:
 // consecutive touches to the same line collapse into one reference (their

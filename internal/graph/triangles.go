@@ -22,65 +22,74 @@ import (
 //
 // The second return value is the exact triangle count, used by tests (a grid
 // has none; random families have predictably many).
-func Triangles(g *CSR, costs Costs) (*dag.DAG, *taskgroup.Tree, int64, error) {
+func Triangles(g Graph, costs Costs) (*dag.DAG, *taskgroup.Tree, int64, error) {
 	c := costs.withDefaults()
+	n := g.NumVertices()
 
-	d := dag.New(fmt.Sprintf("triangles-%s", g.Name))
+	d := dag.New(fmt.Sprintf("triangles-%s", g.GraphName()))
 	tree := taskgroup.New("triangles")
 
 	spawn := d.AddComputeTask("triangles-spawn", c.SpawnInstrs)
 	spawn.Site = "graph/triangles.go:spawn"
 	tree.Own(tree.Root, spawn.ID)
 
-	// fwd(v) is the start of v's forward (greater-id) adjacency suffix.
-	fwd := make([]int64, g.N)
-	for v := int64(0); v < g.N; v++ {
-		adj := g.Adj(v)
-		lo := g.Offsets[v]
-		for len(adj) > 0 && int64(adj[0]) <= v {
-			adj = adj[1:]
-			lo++
+	// fwdLoc(v) is the position of v's first forward (greater-id) neighbour
+	// within its adjacency list; FirstEdge(v)+fwdLoc(v) is the absolute
+	// index of the forward suffix in the simulated flat edge array.
+	fwdLoc := make([]int64, n)
+	var scan []int32
+	for v := int64(0); v < n; v++ {
+		scan = g.AdjInto(v, scan)
+		k := int64(0)
+		for k < int64(len(scan)) && int64(scan[k]) <= v {
+			k++
 		}
-		fwd[v] = lo
+		fwdLoc[v] = k
 	}
-	fwdDeg := func(v int64) int64 { return g.Offsets[v+1] - fwd[v] }
+	fwdDeg := func(v int64) int64 { return g.Degree(v) - fwdLoc[v] }
 
 	work := func(u int64) int64 {
 		w := 1 + g.Degree(u)
-		for j := fwd[u]; j < g.Offsets[u+1]; j++ {
-			w += fwdDeg(u) + fwdDeg(int64(g.Edges[j]))
+		scan = g.AdjInto(u, scan)
+		for _, x := range scan[fwdLoc[u]:] {
+			w += fwdDeg(u) + fwdDeg(int64(x))
 		}
 		return w
 	}
 	group := tree.AddChild(tree.Root, "triangles-count", "graph/triangles.go:count", 0, 0)
 	var total int64
 	var groupBytes int64
-	chunks := chunk(g.N, 4*c.EdgesPerTask, work)
+	chunks := chunk(n, 4*c.EdgesPerTask, work)
 	chunkIDs := make([]dag.TaskID, 0, len(chunks))
 	tr := newTrace(c) // reused across counting tasks; see bfs.go
+	var adjU, adjV []int32
 	for ci, cr := range chunks {
 		tr.reset()
 		var count int64
 		for u := cr[0]; u < cr[1]; u++ {
 			tr.touch(offsetAddr(u), false, c.InstrsPerVertex)
 			tr.touch(offsetAddr(u+1), false, 0)
-			tr.span(edgeAddr(g.Offsets[u]), (g.Offsets[u+1]-g.Offsets[u])*edgeEntryBytes, false, c.InstrsPerEdge)
-			for j := fwd[u]; j < g.Offsets[u+1]; j++ {
-				v := int64(g.Edges[j])
+			adjU = g.AdjInto(u, adjU)
+			baseU := g.FirstEdge(u)
+			tr.span(edgeAddr(baseU), int64(len(adjU))*edgeEntryBytes, false, c.InstrsPerEdge)
+			for jl := fwdLoc[u]; jl < int64(len(adjU)); jl++ {
+				v := int64(adjU[jl])
 				tr.touch(offsetAddr(v), false, 0)
 				tr.touch(offsetAddr(v+1), false, 0)
-				// Merge-intersect fwd(u) (from j on) with fwd(v): the walk
+				adjV = g.AdjInto(v, adjV)
+				baseV := g.FirstEdge(v)
+				// Merge-intersect fwd(u) (past jl) with fwd(v): the walk
 				// re-touches u's suffix interleaved with v's list.
-				a, b := j+1, fwd[v]
-				for a < g.Offsets[u+1] && b < g.Offsets[v+1] {
-					tr.touch(edgeAddr(a), false, 0)
-					tr.touch(edgeAddr(b), false, c.InstrsPerEdge)
+				a, b := jl+1, fwdLoc[v]
+				for a < int64(len(adjU)) && b < int64(len(adjV)) {
+					tr.touch(edgeAddr(baseU+a), false, 0)
+					tr.touch(edgeAddr(baseV+b), false, c.InstrsPerEdge)
 					switch {
-					case g.Edges[a] == g.Edges[b]:
+					case adjU[a] == adjV[b]:
 						count++
 						a++
 						b++
-					case g.Edges[a] < g.Edges[b]:
+					case adjU[a] < adjV[b]:
 						a++
 					default:
 						b++

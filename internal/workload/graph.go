@@ -1,13 +1,16 @@
 package workload
 
 import (
+	"fmt"
+
 	"cmpsched/internal/dag"
 	"cmpsched/internal/graph"
 	"cmpsched/internal/taskgroup"
 )
 
 // GraphShape selects the input graph and the trace granularity shared by the
-// irregular graph kernels (BFS, SSSP, PageRank, triangle counting).  These
+// irregular graph kernels (BFS, SSSP, PageRank, triangle counting,
+// connectivity, k-core, MIS, maximal matching).  These
 // are the "graph-shape parameters" of the workloads: unlike the regular
 // benchmarks, the reference streams depend on the generated adjacency
 // structure, not only on the input size.
@@ -28,11 +31,21 @@ type GraphShape struct {
 	// EdgesPerTask is the per-task edge-traversal budget, the
 	// task-granularity knob (default 4096).
 	EdgesPerTask int64
+	// Representation selects the host representation the kernels walk:
+	// graph.ReprFlat or graph.ReprCompressed (default flat).  The choice
+	// never changes the emitted DAG — kernels address the simulated flat
+	// CSR layout either way (the differential suite in internal/graph pins
+	// this) — it only changes host memory and build time, which is what
+	// lets RMAT at 2^22+ vertices fit.
+	Representation string
 }
 
 func (s GraphShape) withDefaults(vertices int64) GraphShape {
 	if s.Family == "" {
 		s.Family = graph.FamilyUniform
+	}
+	if s.Representation == "" {
+		s.Representation = graph.ReprFlat
 	}
 	if s.Vertices == 0 {
 		s.Vertices = vertices
@@ -52,14 +65,26 @@ func (s GraphShape) withDefaults(vertices int64) GraphShape {
 	return s
 }
 
-// build materialises the CSR for the shape.
-func (s GraphShape) build() (*graph.CSR, error) {
-	return graph.New(graph.Config{
+// build materialises the graph for the shape in the selected representation.
+func (s GraphShape) build() (graph.Graph, error) {
+	g, err := graph.New(graph.Config{
 		Family:    s.Family,
 		Vertices:  s.Vertices,
 		AvgDegree: s.AvgDegree,
 		Seed:      s.Seed,
 	})
+	if err != nil {
+		return nil, err
+	}
+	switch s.Representation {
+	case "", graph.ReprFlat:
+		return g, nil
+	case graph.ReprCompressed:
+		return graph.Compress(g)
+	default:
+		return nil, fmt.Errorf("workload: unknown graph representation %q (want %q or %q)",
+			s.Representation, graph.ReprFlat, graph.ReprCompressed)
+	}
 }
 
 // costs maps the shape to kernel cost parameters.
@@ -211,10 +236,139 @@ func (w *TrianglesWorkload) Build() (*dag.DAG, *taskgroup.Tree, error) {
 	return d, tree, err
 }
 
+// ConnectivityConfig parameterises the low-diameter-decomposition
+// connected-components benchmark.
+type ConnectivityConfig struct {
+	Shape GraphShape
+}
+
+// ConnectivityWorkload builds LDD connectivity DAGs.
+type ConnectivityWorkload struct{ cfg ConnectivityConfig }
+
+// NewConnectivity returns a connectivity workload; zero config fields take
+// defaults.
+func NewConnectivity(cfg ConnectivityConfig) *ConnectivityWorkload {
+	cfg.Shape = cfg.Shape.withDefaults(1 << 15)
+	return &ConnectivityWorkload{cfg: cfg}
+}
+
+// Name implements Workload.
+func (w *ConnectivityWorkload) Name() string { return "connectivity" }
+
+// Config returns the effective (default-filled) configuration.
+func (w *ConnectivityWorkload) Config() ConnectivityConfig { return w.cfg }
+
+// Build implements Workload.
+func (w *ConnectivityWorkload) Build() (*dag.DAG, *taskgroup.Tree, error) {
+	g, err := w.cfg.Shape.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	d, tree, _, err := graph.Connectivity(g, w.cfg.Shape.Seed, w.cfg.Shape.costs())
+	return d, tree, err
+}
+
+// KCoreConfig parameterises the bucketed-peeling k-core benchmark.
+type KCoreConfig struct {
+	Shape GraphShape
+}
+
+// KCoreWorkload builds k-core peeling DAGs.
+type KCoreWorkload struct{ cfg KCoreConfig }
+
+// NewKCore returns a k-core workload; zero config fields take defaults.
+func NewKCore(cfg KCoreConfig) *KCoreWorkload {
+	cfg.Shape = cfg.Shape.withDefaults(1 << 15)
+	return &KCoreWorkload{cfg: cfg}
+}
+
+// Name implements Workload.
+func (w *KCoreWorkload) Name() string { return "kcore" }
+
+// Config returns the effective (default-filled) configuration.
+func (w *KCoreWorkload) Config() KCoreConfig { return w.cfg }
+
+// Build implements Workload.
+func (w *KCoreWorkload) Build() (*dag.DAG, *taskgroup.Tree, error) {
+	g, err := w.cfg.Shape.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	d, tree, _, err := graph.KCore(g, w.cfg.Shape.costs())
+	return d, tree, err
+}
+
+// MISConfig parameterises the random-priority maximal-independent-set
+// benchmark.
+type MISConfig struct {
+	Shape GraphShape
+}
+
+// MISWorkload builds MIS DAGs.
+type MISWorkload struct{ cfg MISConfig }
+
+// NewMIS returns an MIS workload; zero config fields take defaults.
+func NewMIS(cfg MISConfig) *MISWorkload {
+	cfg.Shape = cfg.Shape.withDefaults(1 << 15)
+	return &MISWorkload{cfg: cfg}
+}
+
+// Name implements Workload.
+func (w *MISWorkload) Name() string { return "mis" }
+
+// Config returns the effective (default-filled) configuration.
+func (w *MISWorkload) Config() MISConfig { return w.cfg }
+
+// Build implements Workload.
+func (w *MISWorkload) Build() (*dag.DAG, *taskgroup.Tree, error) {
+	g, err := w.cfg.Shape.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	d, tree, _, err := graph.MIS(g, w.cfg.Shape.Seed, w.cfg.Shape.costs())
+	return d, tree, err
+}
+
+// MatchingConfig parameterises the random-priority maximal-matching
+// benchmark.
+type MatchingConfig struct {
+	Shape GraphShape
+}
+
+// MatchingWorkload builds maximal-matching DAGs.
+type MatchingWorkload struct{ cfg MatchingConfig }
+
+// NewMatching returns a maximal-matching workload; zero config fields take
+// defaults.
+func NewMatching(cfg MatchingConfig) *MatchingWorkload {
+	cfg.Shape = cfg.Shape.withDefaults(1 << 15)
+	return &MatchingWorkload{cfg: cfg}
+}
+
+// Name implements Workload.
+func (w *MatchingWorkload) Name() string { return "matching" }
+
+// Config returns the effective (default-filled) configuration.
+func (w *MatchingWorkload) Config() MatchingConfig { return w.cfg }
+
+// Build implements Workload.
+func (w *MatchingWorkload) Build() (*dag.DAG, *taskgroup.Tree, error) {
+	g, err := w.cfg.Shape.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	d, tree, _, err := graph.MaximalMatching(g, w.cfg.Shape.Seed, w.cfg.Shape.costs())
+	return d, tree, err
+}
+
 // The graph kernels self-register, like any future workload should.
 func init() {
 	Register("bfs", func() Workload { return NewBFS(BFSConfig{}) })
 	Register("sssp", func() Workload { return NewSSSP(SSSPConfig{}) })
 	Register("pagerank", func() Workload { return NewPageRank(PageRankConfig{}) })
 	Register("triangles", func() Workload { return NewTriangles(TrianglesConfig{}) })
+	Register("connectivity", func() Workload { return NewConnectivity(ConnectivityConfig{}) })
+	Register("kcore", func() Workload { return NewKCore(KCoreConfig{}) })
+	Register("mis", func() Workload { return NewMIS(MISConfig{}) })
+	Register("matching", func() Workload { return NewMatching(MatchingConfig{}) })
 }
